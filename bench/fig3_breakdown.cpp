@@ -1,0 +1,62 @@
+// Figure 3: break-down of the average round-trip time of a request
+// transmitted through the replicator (one client, one server replica).
+//
+// Paper reference values: application 15 us, ORB 398 us, group communication
+// 620 us, replicator 154 us (total 1187 us). The application / ORB /
+// replicator shares are the calibrated per-traversal costs times their
+// traversal counts; the group-communication share is the measured remainder
+// (daemon processing + sequencing + wire time), exactly how the paper's
+// instrumentation attributed it.
+//
+// Usage: fig3_breakdown [requests=10000] [seed=42]
+#include <cstdio>
+
+#include "harness/report.hpp"
+#include "harness/scenario.hpp"
+#include "util/config.hpp"
+
+using namespace vdep;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+
+  harness::ScenarioConfig config;
+  config.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  config.clients = 1;
+  config.replicas = 1;
+  config.max_replicas = 1;
+  config.style = replication::ReplicationStyle::kActive;
+
+  harness::Scenario scenario(config);
+  harness::Scenario::CycleConfig cycle;
+  cycle.requests_per_client = static_cast<int>(cfg.get_int("requests", 10000));
+  const harness::ExperimentResult result = scenario.run_closed_loop(cycle);
+
+  const double app_us = to_usec(calib::kAppProcessing);
+  const double orb_us = 4.0 * to_usec(calib::kOrbTraversal);
+  const double replicator_us = 4.0 * to_usec(calib::kReplicatorTraversal);
+  const double gc_us = result.avg_latency_us - app_us - orb_us - replicator_us;
+
+  std::printf("Figure 3 — break-down of the average round-trip time\n");
+  std::printf("(1 client, 1 server replica, %d-request cycle)\n\n",
+              cycle.requests_per_client);
+  std::printf("measured average round-trip: %.1f us (jitter %.1f us)\n\n",
+              result.avg_latency_us, result.jitter_us);
+
+  std::vector<harness::Bar> bars{
+      {"Application", app_us, 0.0},
+      {"ORB", orb_us, 0.0},
+      {"Group Communication", gc_us, 0.0},
+      {"Replicator", replicator_us, 0.0},
+  };
+  std::printf("%s\n", harness::render_bars("round-trip share per layer", "us", bars).c_str());
+
+  harness::Table table({"layer", "this repo [us]", "paper [us]"});
+  table.add_row({"Application", harness::Table::num(app_us), "15"});
+  table.add_row({"ORB", harness::Table::num(orb_us), "398"});
+  table.add_row({"Group Communication", harness::Table::num(gc_us), "620"});
+  table.add_row({"Replicator", harness::Table::num(replicator_us), "154"});
+  table.add_row({"Total", harness::Table::num(result.avg_latency_us), "1187"});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 7: the latency/bandwidth trade-off between active and warm-passive
+// replication across {1..5 clients} x {1..3 replicas (0..2 faults
+// tolerated)}.
+//
+// Expected shapes (paper): (a) warm passive is much slower than active and
+// grows ~linearly with clients (~3x at 5 clients); (b) both styles' bandwidth
+// grows with clients but active grows steeper (~2x passive at 5 clients,
+// since every replica sends a reply and every request fans out k ways).
+//
+// Usage: fig7_tradeoffs [requests=10000] [seed=42] [csv=fig7.csv]
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "util/config.hpp"
+
+using namespace vdep;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+
+  harness::SweepConfig sweep;
+  sweep.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  sweep.requests_per_client = static_cast<int>(cfg.get_int("requests", 10000));
+
+  std::printf("Figure 7 — trade-off between latency and bandwidth usage\n");
+  std::printf("(cycle of %d requests per client per grid point)\n\n",
+              sweep.requests_per_client);
+
+  const knobs::DesignSpaceMap map =
+      harness::profile_design_space(sweep, [](const knobs::DesignPoint& p) {
+        std::fprintf(stderr, "  profiled %s clients=%d: %.1f us, %.3f MB/s\n",
+                     p.config.code().c_str(), p.clients, p.latency_us,
+                     p.bandwidth_mbps);
+      });
+
+  // (a) Round-trip latency.
+  {
+    harness::Table table({"config (faults tol.)", "1 client", "2", "3", "4", "5"});
+    for (const auto& config : map.configurations()) {
+      std::vector<std::string> row{config.code() + " (" +
+                                   std::to_string(config.replicas - 1) + ")"};
+      for (int clients : map.client_counts()) {
+        auto p = map.find(config, clients);
+        row.push_back(p ? harness::Table::num(p->latency_us) : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("(a) average round-trip latency [us]\n%s\n", table.render().c_str());
+  }
+
+  // (b) Bandwidth.
+  {
+    harness::Table table({"config (faults tol.)", "1 client", "2", "3", "4", "5"});
+    for (const auto& config : map.configurations()) {
+      std::vector<std::string> row{config.code() + " (" +
+                                   std::to_string(config.replicas - 1) + ")"};
+      for (int clients : map.client_counts()) {
+        auto p = map.find(config, clients);
+        row.push_back(p ? harness::Table::num(p->bandwidth_mbps, 3) : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("(b) bandwidth usage [MB/s]\n%s\n", table.render().c_str());
+  }
+
+  if (auto path = cfg.get("csv")) {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& p : map.points()) {
+      rows.push_back({replication::to_string(p.config.style),
+                      std::to_string(p.config.replicas), std::to_string(p.clients),
+                      harness::Table::num(p.latency_us, 1),
+                      harness::Table::num(p.jitter_us, 1),
+                      harness::Table::num(p.bandwidth_mbps, 4),
+                      harness::Table::num(p.throughput_rps, 1),
+                      std::to_string(p.faults_tolerated)});
+    }
+    if (harness::write_csv(*path, {"style", "replicas", "clients", "latency_us",
+                                   "jitter_us", "bandwidth_mbps", "throughput_rps",
+                                   "faults_tolerated"},
+                           rows)) {
+      std::printf("wrote %s\n", path->c_str());
+    }
+  }
+
+  // Headline ratios the paper calls out.
+  auto a3_5 = map.find({replication::ReplicationStyle::kActive, 3}, 5);
+  auto p3_5 = map.find({replication::ReplicationStyle::kWarmPassive, 3}, 5);
+  if (a3_5 && p3_5 && a3_5->latency_us > 0 && p3_5->bandwidth_mbps > 0) {
+    std::printf("at 5 clients, 3 replicas: passive latency / active latency = %.2fx "
+                "(paper: ~3x)\n",
+                p3_5->latency_us / a3_5->latency_us);
+    std::printf("at 5 clients, 3 replicas: active bandwidth / passive bandwidth = %.2fx "
+                "(paper: ~2x)\n",
+                a3_5->bandwidth_mbps / p3_5->bandwidth_mbps);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 8 + Table 2: the high-level "scalability" knob.
+//
+// Profiles the design space (the Fig. 7 grid), then applies the paper's
+// 4-step policy-synthesis rule (Sec. 4.3):
+//   1. average latency <= 7000 us,
+//   2. bandwidth <= 3 MB/s,
+//   3. maximize faults tolerated,
+//   4. minimize Cost = p*L/7000 + (1-p)*B/3, p = 0.5.
+// Prints the feasible set per client count (the region between Fig. 8's
+// constraint planes), the chosen configuration path (the thick line), and
+// Table 2 with the paper's row alongside.
+//
+// Usage: fig8_scalability_knob [requests=10000] [seed=42]
+//        [max_latency_us=7000] [max_bandwidth=3.0] [p=0.5]
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "knobs/scalability.hpp"
+#include "util/config.hpp"
+
+using namespace vdep;
+
+namespace {
+
+const char* paper_row(int clients) {
+  switch (clients) {
+    case 1: return "A (3)  1245.8 us  1.074 MB/s  2 faults  cost 0.268";
+    case 2: return "A (3)  1457.2 us  2.032 MB/s  2 faults  cost 0.443";
+    case 3: return "P (3)  4966.0 us  1.887 MB/s  2 faults  cost 0.669";
+    case 4: return "P (3)  6141.1 us  2.315 MB/s  2 faults  cost 0.825";
+    case 5: return "P (2)  6006.2 us  2.799 MB/s  1 fault   cost 0.895";
+    default: return "-";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+
+  harness::SweepConfig sweep;
+  sweep.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  sweep.requests_per_client = static_cast<int>(cfg.get_int("requests", 10000));
+
+  std::printf("Figure 8 / Table 2 — high-level knob: scalability\n");
+  std::printf("profiling the design space (%d-request cycles)...\n\n",
+              sweep.requests_per_client);
+  const knobs::DesignSpaceMap map = harness::profile_design_space(sweep);
+
+  knobs::ScalabilityRequirements requirements;
+  requirements.max_latency_us = cfg.get_double("max_latency_us", 7000.0);
+  requirements.max_bandwidth_mbps = cfg.get_double("max_bandwidth", 3.0);
+  requirements.cost.p = cfg.get_double("p", 0.5);
+  requirements.cost.latency_limit_us = requirements.max_latency_us;
+  requirements.cost.bandwidth_limit_mbps = requirements.max_bandwidth_mbps;
+
+  // The Fig. 8 region: which configurations survive the constraint planes.
+  std::printf("feasible configurations per client count (latency <= %.0f us, "
+              "bandwidth <= %.1f MB/s):\n",
+              requirements.max_latency_us, requirements.max_bandwidth_mbps);
+  for (int clients : map.client_counts()) {
+    std::printf("  %d client%s: ", clients, clients == 1 ? " " : "s");
+    bool any = false;
+    for (const auto& p : map.at_clients(clients)) {
+      const bool ok = p.latency_us <= requirements.max_latency_us &&
+                      p.bandwidth_mbps <= requirements.max_bandwidth_mbps;
+      if (ok) {
+        std::printf("%s ", p.config.code().c_str());
+        any = true;
+      }
+    }
+    std::printf(any ? "\n" : "(none)\n");
+  }
+  std::printf("\n");
+
+  const knobs::ScalabilityPolicy policy =
+      knobs::synthesize_scalability_policy(map, requirements);
+
+  harness::Table table({"Ncli", "Configuration", "Latency [us]", "Bandwidth [MB/s]",
+                        "Faults Tolerated", "Cost", "paper (Table 2)"});
+  for (const auto& e : policy.entries) {
+    table.add_row({std::to_string(e.clients), e.config.code(),
+                   harness::Table::num(e.latency_us),
+                   harness::Table::num(e.bandwidth_mbps, 3),
+                   std::to_string(e.faults_tolerated),
+                   harness::Table::num(e.cost, 3), paper_row(e.clients)});
+  }
+  std::printf("Table 2 — policy for scalability tuning:\n%s", table.render().c_str());
+
+  for (int clients : policy.infeasible_clients) {
+    std::printf("\n%d clients: no configuration satisfies the requirements — the "
+                "system notifies the operators that the tuning policy can no longer "
+                "be honored.\n",
+                clients);
+  }
+  if (!policy.entries.empty()) {
+    std::printf("\nmax supported clients under this policy: %d\n",
+                policy.max_supported_clients());
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Micro-benchmarks of the substrate components (google-benchmark): event
+// queue, RNG, byte/CDR/GIOP codecs, reply cache, vector clocks and the
+// ordered-delivery buffer. These quantify the *real* (not simulated) cost of
+// the infrastructure the experiments run on.
+#include <benchmark/benchmark.h>
+
+#include "gcs/ordering.hpp"
+#include "gcs/vector_clock.hpp"
+#include "orb/giop.hpp"
+#include "replication/reply_cache.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/kernel.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+using namespace vdep;
+
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  Rng rng(1);
+  SimTime t = kTimeZero;
+  int counter = 0;
+  for (auto _ : state) {
+    // Keep a working set of ~1000 events.
+    for (int i = 0; i < 8; ++i) {
+      queue.schedule(t + nsec(static_cast<std::int64_t>(rng.below(1'000'000))),
+                     [&counter] { ++counter; });
+    }
+    while (queue.size() > 1000) {
+      auto [at, fn] = queue.pop();
+      t = at;
+      fn();
+    }
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_KernelRunSteps(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel kernel(7);
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      kernel.post(usec(i), [&fired, &kernel, i] {
+        ++fired;
+        if (i % 2 == 0) kernel.post(usec(1), [&fired] { ++fired; });
+      });
+    }
+    kernel.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_KernelRunSteps);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc ^= rng.next();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngNext);
+
+void BM_GiopRequestRoundTrip(benchmark::State& state) {
+  orb::RequestMessage req;
+  req.request_id = 77;
+  req.object_key = ObjectId{1};
+  req.operation = "process";
+  req.body = filler_bytes(static_cast<std::size_t>(state.range(0)));
+  orb::FtRequestContext ctx;
+  ctx.client = ProcessId{5001};
+  ctx.retention_id = 77;
+  ctx.client_daemon = NodeId{0};
+  req.service_contexts.push_back(ctx.to_context());
+  for (auto _ : state) {
+    Bytes wire = req.encode();
+    auto decoded = orb::decode_giop(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_GiopRequestRoundTrip)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ReplyCachePutGet(benchmark::State& state) {
+  replication::ReplyCache cache(1024);
+  Bytes reply = filler_bytes(128);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    RequestId id{ProcessId{1}, ++seq};
+    cache.put(id, reply);
+    benchmark::DoNotOptimize(cache.get(id));
+  }
+}
+BENCHMARK(BM_ReplyCachePutGet);
+
+void BM_VectorClockMerge(benchmark::State& state) {
+  gcs::VectorClock a;
+  gcs::VectorClock b;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    a.set(ProcessId{i}, i * 3);
+    b.set(ProcessId{i}, i * 5 % 7);
+  }
+  for (auto _ : state) {
+    gcs::VectorClock c = a;
+    c.merge(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_VectorClockMerge);
+
+void BM_OrderedBufferOfferDeliver(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    gcs::GroupReceiveBuffer buffer{GroupId{1}};
+    gcs::View view;
+    view.group = GroupId{1};
+    view.view_id = 1;
+    view.members.push_back(gcs::Member{ProcessId{1}, NodeId{0}});
+    gcs::Ordered v;
+    v.group = GroupId{1};
+    v.epoch = 1;
+    v.seq = 0;
+    v.kind = gcs::Ordered::Kind::kView;
+    v.payload = view.encode();
+    state.ResumeTiming();
+
+    (void)buffer.offer(v, NodeId{0});
+    for (std::uint64_t s = 1; s <= 256; ++s) {
+      gcs::Ordered msg;
+      msg.group = GroupId{1};
+      msg.epoch = 1;
+      msg.seq = s;
+      msg.origin = gcs::OriginId{ProcessId{1}, s};
+      msg.payload = filler_bytes(64);
+      (void)buffer.offer(msg, NodeId{0});
+    }
+    auto out = buffer.take_deliverable();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_OrderedBufferOfferDeliver);
+
+void BM_Fnv1a(benchmark::State& state) {
+  Bytes data = filler_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(fnv1a(data));
+}
+BENCHMARK(BM_Fnv1a)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

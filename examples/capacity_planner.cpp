@@ -1,0 +1,77 @@
+// Offline capacity planning with the high-level scalability knob
+// (paper Sec. 4.3 as a deployment-time workflow).
+//
+// Profiles the dependability design space for this application's parameters,
+// synthesizes the {style, replicas} policy for the operator's requirements,
+// and prints the deployment plan — including the client count beyond which
+// "the system notifies the operators that the tuning policy can no longer be
+// honored".
+//
+// Run:  ./capacity_planner [max_latency_us=7000] [max_bandwidth=3.0] [p=0.5]
+//                          [requests=3000] [request_bytes=112] [state_bytes=7552]
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "knobs/scalability.hpp"
+#include "util/config.hpp"
+
+using namespace vdep;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+
+  knobs::ScalabilityRequirements requirements;
+  requirements.max_latency_us = cfg.get_double("max_latency_us", 7000);
+  requirements.max_bandwidth_mbps = cfg.get_double("max_bandwidth", 3.0);
+  requirements.cost.p = cfg.get_double("p", 0.5);
+  requirements.cost.latency_limit_us = requirements.max_latency_us;
+  requirements.cost.bandwidth_limit_mbps = requirements.max_bandwidth_mbps;
+
+  harness::SweepConfig sweep;
+  sweep.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  sweep.requests_per_client = static_cast<int>(cfg.get_int("requests", 3000));
+  sweep.base.request_bytes = static_cast<std::size_t>(cfg.get_int("request_bytes", 112));
+  sweep.base.state_bytes = static_cast<std::size_t>(cfg.get_int("state_bytes", 7552));
+
+  std::printf("capacity planner — profiling the design space for your workload\n");
+  std::printf("(request %zu B, state %zu B, %d-request cycles per grid point)\n\n",
+              sweep.base.request_bytes, sweep.base.state_bytes,
+              sweep.requests_per_client);
+
+  int done = 0;
+  const knobs::DesignSpaceMap map =
+      harness::profile_design_space(sweep, [&done](const knobs::DesignPoint&) {
+        std::fprintf(stderr, "\r  profiled %d/30 grid points", ++done);
+      });
+  std::fprintf(stderr, "\n\n");
+
+  const knobs::ScalabilityPolicy policy =
+      knobs::synthesize_scalability_policy(map, requirements);
+
+  std::printf("requirements: latency <= %.0f us, bandwidth <= %.1f MB/s, best "
+              "fault-tolerance, cost weight p = %.2f\n\n",
+              requirements.max_latency_us, requirements.max_bandwidth_mbps,
+              requirements.cost.p);
+
+  harness::Table table({"clients", "deploy", "expect latency [us]",
+                        "expect bandwidth [MB/s]", "faults tolerated", "cost"});
+  for (const auto& e : policy.entries) {
+    table.add_row({std::to_string(e.clients), e.config.code(),
+                   harness::Table::num(e.latency_us),
+                   harness::Table::num(e.bandwidth_mbps, 3),
+                   std::to_string(e.faults_tolerated),
+                   harness::Table::num(e.cost, 3)});
+  }
+  std::printf("deployment plan:\n%s\n", table.render().c_str());
+
+  if (!policy.infeasible_clients.empty()) {
+    std::printf("beyond %d clients no configuration satisfies the requirements — "
+                "renegotiate the contract or add hardware.\n",
+                policy.max_supported_clients());
+  } else {
+    std::printf("all profiled client counts are servable; re-profile with more "
+                "clients to find the capacity wall.\n");
+  }
+  return 0;
+}

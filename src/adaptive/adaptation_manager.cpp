@@ -1,0 +1,47 @@
+#include "adaptive/adaptation_manager.hpp"
+
+#include "util/logging.hpp"
+
+namespace vdep::adaptive {
+
+AdaptationManager::AdaptationManager(replication::Replicator& replicator,
+                                     monitor::ReplicatedStateObject& state,
+                                     std::unique_ptr<AdaptationPolicy> policy,
+                                     SimTime evaluate_interval)
+    : replicator_(replicator),
+      state_(state),
+      policy_(std::move(policy)),
+      interval_(evaluate_interval) {}
+
+void AdaptationManager::start() {
+  replicator_.process().post(interval_, [this] {
+    evaluate();
+    start();
+  });
+}
+
+void AdaptationManager::set_policy(std::unique_ptr<AdaptationPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+void AdaptationManager::evaluate() {
+  Signals s;
+  s.now = replicator_.process().now();
+  s.request_rate = state_.aggregate_request_rate();
+  s.cpu_load = state_.max_cpu_load();
+  s.replicas = replicator_.current_view() ? replicator_.current_view()->size() : 0;
+
+  auto desired = policy_->evaluate(s);
+  if (!desired) return;
+  if (replicator_.switch_in_progress()) return;
+  if (*desired == replicator_.style()) return;
+
+  log_info(s.now, "adaptation",
+           replicator_.process().name() + " policy '" + policy_->name() +
+               "' requests switch to " + replication::to_string(*desired) +
+               " (rate=" + std::to_string(s.request_rate) + " req/s)");
+  ++initiated_;
+  replicator_.request_style_switch(*desired);
+}
+
+}  // namespace vdep::adaptive

@@ -1,0 +1,44 @@
+// The adaptation manager: one per replica, tying monitoring to the switch
+// protocol (paper Sec. 2 item 4 and Sec. 4.2).
+//
+// Each manager periodically evaluates the active policy against the signals
+// published through the replicated system-state object; when the desired
+// style differs from the current one it initiates a switch. Several replicas
+// may initiate concurrently — the protocol's step I discards duplicates —
+// and because all managers read the *agreed* state, their decisions align.
+#pragma once
+
+#include <memory>
+
+#include "adaptive/policy.hpp"
+#include "monitor/replicated_state.hpp"
+#include "replication/replicator.hpp"
+
+namespace vdep::adaptive {
+
+class AdaptationManager {
+ public:
+  AdaptationManager(replication::Replicator& replicator,
+                    monitor::ReplicatedStateObject& state,
+                    std::unique_ptr<AdaptationPolicy> policy,
+                    SimTime evaluate_interval = msec(100));
+
+  void start();
+
+  // Runtime policy replacement ("policies ... introduced at run time").
+  void set_policy(std::unique_ptr<AdaptationPolicy> policy);
+
+  [[nodiscard]] const AdaptationPolicy& policy() const { return *policy_; }
+  [[nodiscard]] std::uint64_t switches_initiated() const { return initiated_; }
+
+ private:
+  void evaluate();
+
+  replication::Replicator& replicator_;
+  monitor::ReplicatedStateObject& state_;
+  std::unique_ptr<AdaptationPolicy> policy_;
+  SimTime interval_;
+  std::uint64_t initiated_ = 0;
+};
+
+}  // namespace vdep::adaptive

@@ -1,0 +1,57 @@
+#include "adaptive/contract.hpp"
+
+namespace vdep::adaptive {
+
+bool Contract::satisfied_by(double latency_us, double bandwidth_mbps,
+                            int faults_tolerated) const {
+  return latency_us <= max_latency_us && bandwidth_mbps <= max_bandwidth_mbps &&
+         faults_tolerated >= min_faults_tolerated;
+}
+
+ContractMonitor::ContractMonitor(Contract contract, SimTime violation_grace)
+    : active_(std::move(contract)), grace_(violation_grace) {}
+
+void ContractMonitor::add_degraded_alternative(Contract contract) {
+  alternatives_.push_back(std::move(contract));
+}
+
+void ContractMonitor::set_on_degrade(
+    std::function<void(const Contract&, const Contract&)> fn) {
+  on_degrade_ = std::move(fn);
+}
+
+void ContractMonitor::set_on_exhausted(std::function<void(const Contract&)> fn) {
+  on_exhausted_ = std::move(fn);
+}
+
+bool ContractMonitor::observe(SimTime now, double latency_us, double bandwidth_mbps,
+                              int faults_tolerated) {
+  if (active_.satisfied_by(latency_us, bandwidth_mbps, faults_tolerated)) {
+    violating_since_.reset();
+    return true;
+  }
+  if (!violating_since_) {
+    violating_since_ = now;
+    return false;
+  }
+  if (now - *violating_since_ >= grace_ && !exhausted_) {
+    degrade();
+    violating_since_.reset();
+  }
+  return false;
+}
+
+void ContractMonitor::degrade() {
+  if (alternatives_.empty()) {
+    exhausted_ = true;
+    if (on_exhausted_) on_exhausted_(active_);
+    return;
+  }
+  Contract next = alternatives_.front();
+  alternatives_.erase(alternatives_.begin());
+  ++degradations_;
+  if (on_degrade_) on_degrade_(active_, next);
+  active_ = std::move(next);
+}
+
+}  // namespace vdep::adaptive

@@ -1,0 +1,66 @@
+// Behavioral contracts (paper Sec. 2 item 2 and Sec. 3.1): the specified
+// behavior the system promises — bounds on latency, bandwidth, and a minimum
+// fault-tolerance level. The ContractMonitor checks observed conditions
+// against the active contract; on sustained violation it asks for
+// re-adaptation, and if no configuration can honor the contract it offers
+// pre-declared degraded alternatives before escalating to the operator.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adaptive/policy.hpp"
+
+namespace vdep::adaptive {
+
+struct Contract {
+  std::string name = "default";
+  double max_latency_us = 7000.0;   // requirement 1 of Sec. 4.3
+  double max_bandwidth_mbps = 3.0;  // requirement 2 of Sec. 4.3
+  int min_faults_tolerated = 0;     // requirement 3's floor
+
+  [[nodiscard]] bool satisfied_by(double latency_us, double bandwidth_mbps,
+                                  int faults_tolerated) const;
+};
+
+class ContractMonitor {
+ public:
+  // `violation_grace`: how long a violation must persist before acting
+  // (transient spikes are not renegotiations).
+  ContractMonitor(Contract contract, SimTime violation_grace = msec(500));
+
+  // Degraded alternatives, most-preferred first (paper: "versatile
+  // dependability can offer alternative (possibly degraded) behavioral
+  // contracts").
+  void add_degraded_alternative(Contract contract);
+
+  // Fired when the active contract is abandoned for a degraded one.
+  void set_on_degrade(std::function<void(const Contract& from, const Contract& to)> fn);
+  // Fired when not even the most degraded contract holds — the paper's
+  // "manual intervention might be warranted"/operator-notification case.
+  void set_on_exhausted(std::function<void(const Contract&)> fn);
+
+  // Feed one observation; returns true if the active contract held.
+  bool observe(SimTime now, double latency_us, double bandwidth_mbps,
+               int faults_tolerated);
+
+  [[nodiscard]] const Contract& active() const { return active_; }
+  [[nodiscard]] std::size_t degradations() const { return degradations_; }
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+
+ private:
+  void degrade();
+
+  Contract active_;
+  std::vector<Contract> alternatives_;
+  SimTime grace_;
+  std::optional<SimTime> violating_since_;
+  std::size_t degradations_ = 0;
+  bool exhausted_ = false;
+  std::function<void(const Contract&, const Contract&)> on_degrade_;
+  std::function<void(const Contract&)> on_exhausted_;
+};
+
+}  // namespace vdep::adaptive

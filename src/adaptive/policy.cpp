@@ -1,0 +1,22 @@
+#include "adaptive/policy.hpp"
+
+namespace vdep::adaptive {
+
+RateThresholdPolicy::RateThresholdPolicy(Config config)
+    : config_(config),
+      watcher_(config.low_rate, config.high_rate, config.min_dwell) {}
+
+std::optional<replication::ReplicationStyle> RateThresholdPolicy::evaluate(
+    const Signals& s) {
+  auto transition = watcher_.update(s.now, s.request_rate);
+  if (!transition) return std::nullopt;
+  return *transition == monitor::ThresholdWatcher::State::kHigh ? config_.high_style
+                                                                : config_.low_style;
+}
+
+std::optional<replication::ReplicationStyle> ModePolicy::evaluate(const Signals&) {
+  return mode_ == Mode::kMissionCritical ? replication::ReplicationStyle::kActive
+                                         : replication::ReplicationStyle::kWarmPassive;
+}
+
+}  // namespace vdep::adaptive

@@ -1,0 +1,81 @@
+// Adaptation policies — the rules that map observed conditions to a desired
+// replication configuration (paper Sec. 2 item 3, Sec. 3.1 "Adaptation
+// Policies"). Policies can be pre-defined or installed at runtime; the
+// AdaptationManager evaluates the active policy on the agreed system state
+// and triggers the switch protocol when the desired style changes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "monitor/rate_estimator.hpp"
+#include "replication/types.hpp"
+
+namespace vdep::adaptive {
+
+// What a policy sees when evaluated.
+struct Signals {
+  SimTime now = kTimeZero;
+  double request_rate = 0.0;   // agreed requests/s at the service
+  double cpu_load = 0.0;       // max CPU load across replicas
+  double bandwidth_mbps = 0.0; // measured network usage
+  double avg_latency_us = 0.0; // smoothed round-trip estimate
+  std::size_t replicas = 0;
+};
+
+class AdaptationPolicy {
+ public:
+  virtual ~AdaptationPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Returns the style the system should be using, or nullopt for "no
+  // preference / keep current".
+  virtual std::optional<replication::ReplicationStyle> evaluate(const Signals& s) = 0;
+};
+
+// The Fig. 6 policy: active replication above a request-rate threshold
+// (it sustains higher arrival rates), warm passive below (it conserves
+// resources). Hysteresis plus a minimum dwell prevent thrashing.
+class RateThresholdPolicy final : public AdaptationPolicy {
+ public:
+  struct Config {
+    double high_rate = 600.0;  // req/s: switch to active above this
+    double low_rate = 350.0;   // req/s: switch back to passive below this
+    SimTime min_dwell = msec(500);
+    replication::ReplicationStyle high_style = replication::ReplicationStyle::kActive;
+    replication::ReplicationStyle low_style = replication::ReplicationStyle::kWarmPassive;
+  };
+
+  RateThresholdPolicy() : RateThresholdPolicy(Config{}) {}
+  explicit RateThresholdPolicy(Config config);
+
+  [[nodiscard]] std::string name() const override { return "rate_threshold"; }
+  std::optional<replication::ReplicationStyle> evaluate(const Signals& s) override;
+
+ private:
+  Config config_;
+  monitor::ThresholdWatcher watcher_;
+};
+
+// Conserve-resources policy for mode-based applications (paper Sec. 5: run
+// resource-conservative most of the time, switch to the high-performance
+// style only during the mission-critical window). Driven externally by mode
+// changes rather than by measurements.
+class ModePolicy final : public AdaptationPolicy {
+ public:
+  enum class Mode { kConserving, kMissionCritical };
+
+  [[nodiscard]] std::string name() const override { return "mode"; }
+
+  void set_mode(Mode mode) { mode_ = mode; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+  std::optional<replication::ReplicationStyle> evaluate(const Signals& s) override;
+
+ private:
+  Mode mode_ = Mode::kConserving;
+};
+
+}  // namespace vdep::adaptive

@@ -1,0 +1,68 @@
+#include "adaptive/switch_protocol.hpp"
+
+#include <algorithm>
+
+namespace vdep::adaptive {
+
+SwitchSummary summarize_switches(
+    const std::vector<replication::Replicator::SwitchRecord>& history) {
+  SwitchSummary s;
+  s.count = history.size();
+  RunningStats durations;
+  for (const auto& rec : history) {
+    durations.add(to_usec(rec.completed - rec.initiated));
+    const bool passive_target =
+        rec.to == replication::ReplicationStyle::kWarmPassive ||
+        rec.to == replication::ReplicationStyle::kColdPassive;
+    if (passive_target) {
+      ++s.to_passive;
+    } else {
+      ++s.to_active;
+    }
+  }
+  s.mean_duration_us = durations.mean();
+  s.max_duration_us = durations.max();
+  return s;
+}
+
+std::optional<std::string> validate_switch_history(
+    const std::vector<replication::Replicator::SwitchRecord>& history) {
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const auto& rec = history[i];
+    if (rec.completed < rec.initiated) {
+      return "switch " + std::to_string(i) + " completed before it was initiated";
+    }
+    if (rec.from == rec.to) {
+      return "switch " + std::to_string(i) + " has identical from/to styles";
+    }
+    if (i > 0 && history[i - 1].to != rec.from) {
+      return "switch " + std::to_string(i) + " does not start from the previous style";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_switch_agreement(
+    const std::vector<std::vector<replication::Replicator::SwitchRecord>>& histories) {
+  if (histories.empty()) return std::nullopt;
+  for (const auto& h : histories) {
+    if (auto err = validate_switch_history(h)) return err;
+  }
+  const auto& reference = histories.front();
+  for (std::size_t r = 1; r < histories.size(); ++r) {
+    const auto& h = histories[r];
+    if (h.size() != reference.size()) {
+      return "replica " + std::to_string(r) + " recorded " + std::to_string(h.size()) +
+             " switches, replica 0 recorded " + std::to_string(reference.size());
+    }
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (h[i].from != reference[i].from || h[i].to != reference[i].to) {
+        return "replica " + std::to_string(r) + " disagrees on switch " +
+               std::to_string(i);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vdep::adaptive

@@ -1,0 +1,45 @@
+// Analysis helpers for the runtime replication-style switch protocol.
+//
+// The protocol itself (paper Fig. 5) is executed inside the replicator —
+// see replication::Replicator::handle_switch / complete_switch and the
+// final-checkpoint and rollback paths — because it must interleave with
+// request handling at exact total-order points. This header provides the
+// measurement side: validating recorded switch histories and summarizing
+// switch costs ("the observed delays required to complete the switch are
+// comparable to the average response time").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "replication/replicator.hpp"
+#include "util/stats.hpp"
+
+namespace vdep::adaptive {
+
+struct SwitchSummary {
+  std::size_t count = 0;
+  double mean_duration_us = 0.0;
+  double max_duration_us = 0.0;
+  std::size_t to_active = 0;
+  std::size_t to_passive = 0;
+};
+
+// Aggregates one replica's switch history.
+[[nodiscard]] SwitchSummary summarize_switches(
+    const std::vector<replication::Replicator::SwitchRecord>& history);
+
+// Validation used by tests and the Fig. 6 bench:
+//  - durations are non-negative;
+//  - styles alternate consistently (each record's `from` equals the previous
+//    record's `to`);
+//  - given histories from several replicas of one group, all agree on the
+//    sequence of (from, to) pairs — the protocol's total-order guarantee.
+// Returns nullopt on success or a description of the first inconsistency.
+[[nodiscard]] std::optional<std::string> validate_switch_history(
+    const std::vector<replication::Replicator::SwitchRecord>& history);
+
+[[nodiscard]] std::optional<std::string> validate_switch_agreement(
+    const std::vector<std::vector<replication::Replicator::SwitchRecord>>& histories);
+
+}  // namespace vdep::adaptive

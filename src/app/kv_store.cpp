@@ -1,0 +1,127 @@
+#include "app/kv_store.hpp"
+
+#include "orb/cdr.hpp"
+
+namespace vdep::app {
+
+KvStoreServant::KvStoreServant(Config config) : config_(config) {}
+
+orb::Servant::Result KvStoreServant::invoke(const std::string& operation,
+                                            const Bytes& args) {
+  Result result;
+  try {
+    orb::CdrReader r(args);
+    if (operation == "put") {
+      const std::string key = r.string();
+      const std::string value = r.string();
+      result.cpu_time = config_.write_time;
+      const bool existed = data_.contains(key);
+      data_[key] = value;
+      orb::CdrWriter w;
+      w.boolean(existed);
+      result.output = std::move(w).take();
+      return result;
+    }
+    if (operation == "get") {
+      const std::string key = r.string();
+      result.cpu_time = config_.read_time;
+      orb::CdrWriter w;
+      auto it = data_.find(key);
+      w.boolean(it != data_.end());
+      w.string(it != data_.end() ? it->second : "");
+      result.output = std::move(w).take();
+      return result;
+    }
+    if (operation == "erase") {
+      const std::string key = r.string();
+      result.cpu_time = config_.write_time;
+      orb::CdrWriter w;
+      w.boolean(data_.erase(key) > 0);
+      result.output = std::move(w).take();
+      return result;
+    }
+    if (operation == "size") {
+      result.cpu_time = config_.read_time;
+      orb::CdrWriter w;
+      w.ulong(static_cast<std::uint32_t>(data_.size()));
+      result.output = std::move(w).take();
+      return result;
+    }
+  } catch (const DecodeError&) {
+    // Malformed arguments: fall through to the failure reply.
+  }
+  result.ok = false;
+  return result;
+}
+
+Bytes KvStoreServant::snapshot() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(data_.size()));
+  for (const auto& [key, value] : data_) {
+    w.str(key);
+    w.str(value);
+  }
+  return std::move(w).take();
+}
+
+void KvStoreServant::restore(const Bytes& snapshot) {
+  data_.clear();
+  ByteReader r(snapshot);
+  const auto n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    data_[std::move(key)] = r.str();
+  }
+}
+
+std::size_t KvStoreServant::state_size() const {
+  std::size_t total = 4;
+  for (const auto& [key, value] : data_) total += key.size() + value.size() + 8;
+  return total;
+}
+
+std::uint64_t KvStoreServant::state_digest() const {
+  // std::map iterates in key order, so the digest is replica-deterministic.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;  // field separator
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [key, value] : data_) {
+    mix(key);
+    mix(value);
+  }
+  return h;
+}
+
+Bytes KvStoreServant::encode_put(const std::string& key, const std::string& value) {
+  orb::CdrWriter w;
+  w.string(key);
+  w.string(value);
+  return std::move(w).take();
+}
+
+Bytes KvStoreServant::encode_key(const std::string& key) {
+  orb::CdrWriter w;
+  w.string(key);
+  return std::move(w).take();
+}
+
+KvStoreServant::GetResult KvStoreServant::decode_get(const Bytes& body) {
+  orb::CdrReader r(body);
+  GetResult out;
+  out.found = r.boolean();
+  out.value = r.string();
+  return out;
+}
+
+bool KvStoreServant::decode_flag(const Bytes& body) {
+  orb::CdrReader r(body);
+  return r.boolean();
+}
+
+}  // namespace vdep::app

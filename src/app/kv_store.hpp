@@ -1,0 +1,57 @@
+// A replicated key-value store — a second, realistic application on top of
+// the replication API (the micro-benchmark TestServant is deliberately
+// synthetic). Demonstrates that Checkpointable is application-agnostic:
+// deterministic CDR-typed operations, full-state snapshots, and a digest for
+// consistency checking.
+//
+// Operations (CDR-encoded arguments/results):
+//   "put"    in: string key, string value      out: boolean existed
+//   "get"    in: string key                    out: boolean found, string value
+//   "erase"  in: string key                    out: boolean existed
+//   "size"   in: -                             out: ulong entries
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "replication/app_state.hpp"
+#include "util/calibration.hpp"
+
+namespace vdep::app {
+
+class KvStoreServant final : public replication::Checkpointable {
+ public:
+  struct Config {
+    // Simulated CPU time per operation (writes cost more than reads).
+    SimTime read_time = calib::kAppProcessing;
+    SimTime write_time = calib::kAppProcessing * 3;
+  };
+
+  KvStoreServant() : KvStoreServant(Config{}) {}
+  explicit KvStoreServant(Config config);
+
+  Result invoke(const std::string& operation, const Bytes& args) override;
+
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+  [[nodiscard]] std::size_t state_size() const override;
+  [[nodiscard]] std::uint64_t state_digest() const override;
+
+  [[nodiscard]] std::size_t entries() const { return data_.size(); }
+
+  // --- typed client-side helpers (encode args / decode results) -------------
+  static Bytes encode_put(const std::string& key, const std::string& value);
+  static Bytes encode_key(const std::string& key);  // for get/erase
+  struct GetResult {
+    bool found = false;
+    std::string value;
+  };
+  static GetResult decode_get(const Bytes& body);
+  static bool decode_flag(const Bytes& body);  // put/erase result
+
+ private:
+  Config config_;
+  std::map<std::string, std::string> data_;
+};
+
+}  // namespace vdep::app

@@ -1,0 +1,49 @@
+#include "gcs/endpoint.hpp"
+
+#include "util/assert.hpp"
+
+namespace vdep::gcs {
+
+Endpoint::Endpoint(Daemon& daemon, sim::Process& process)
+    : daemon_(daemon), process_(process) {
+  VDEP_ASSERT_MSG(daemon.host() == process.host(),
+                  "endpoint must attach to the local daemon");
+  daemon_.register_endpoint(*this);
+}
+
+Endpoint::~Endpoint() { daemon_.unregister_endpoint(*this); }
+
+void Endpoint::join(GroupId group) {
+  if (joined_.contains(group)) return;
+  joined_.insert(group);
+  daemon_.submit_join(process_.id(), group, next_origin_seq());
+}
+
+void Endpoint::leave(GroupId group) {
+  if (!joined_.contains(group)) return;
+  joined_.erase(group);
+  daemon_.submit_leave(process_.id(), group, next_origin_seq());
+}
+
+void Endpoint::multicast(GroupId group, ServiceType svc, Bytes payload) {
+  daemon_.submit_multicast(process_.id(), group, svc, std::move(payload),
+                           next_origin_seq());
+}
+
+void Endpoint::unicast(ProcessId dst, NodeId dst_daemon, Bytes payload) {
+  daemon_.submit_unicast(process_.id(), dst, dst_daemon, std::move(payload));
+}
+
+void Endpoint::deliver_message(const GroupMessage& msg) {
+  if (on_message_) on_message_(msg);
+}
+
+void Endpoint::deliver_view(const View& view) {
+  if (on_view_) on_view_(view);
+}
+
+void Endpoint::deliver_private(const PrivateMessage& msg) {
+  if (on_private_) on_private_(msg);
+}
+
+}  // namespace vdep::gcs

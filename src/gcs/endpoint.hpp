@@ -1,0 +1,70 @@
+// Application-process handle onto the group-communication system.
+//
+// An Endpoint attaches a simulated process to its host's daemon; through it
+// the process joins groups, multicasts with a chosen service level, sends
+// point-to-point datagrams (Spread private groups), and receives ordered
+// messages and membership views. When the owning process crashes, the daemon
+// reports a crash-leave for every group it had joined — this is the fault
+// notification the replication layer's failover logic runs on.
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "gcs/daemon.hpp"
+
+namespace vdep::gcs {
+
+class Endpoint {
+ public:
+  using MessageHandler = std::function<void(const GroupMessage&)>;
+  using ViewHandler = std::function<void(const View&)>;
+  using PrivateHandler = std::function<void(const PrivateMessage&)>;
+
+  // Attaches `process` to `daemon` (they must share a host).
+  Endpoint(Daemon& daemon, sim::Process& process);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  void set_message_handler(MessageHandler fn) { on_message_ = std::move(fn); }
+  void set_view_handler(ViewHandler fn) { on_view_ = std::move(fn); }
+  void set_private_handler(PrivateHandler fn) { on_private_ = std::move(fn); }
+
+  void join(GroupId group);
+  void leave(GroupId group);
+
+  // Multicast to a group. The sender need not be a member (open groups, as
+  // in Spread): clients send requests into server groups this way.
+  void multicast(GroupId group, ServiceType svc, Bytes payload);
+
+  // Point-to-point reliable FIFO datagram.
+  void unicast(ProcessId dst, NodeId dst_daemon, Bytes payload);
+
+  [[nodiscard]] ProcessId id() const { return process_.id(); }
+  [[nodiscard]] NodeId daemon_host() const { return daemon_.host(); }
+  [[nodiscard]] sim::Process& process() { return process_; }
+  [[nodiscard]] const std::set<GroupId>& joined_groups() const { return joined_; }
+
+ private:
+  friend class Daemon;
+
+  // Called by the daemon (already loopback-delayed and liveness-guarded).
+  void deliver_message(const GroupMessage& msg);
+  void deliver_view(const View& view);
+  void deliver_private(const PrivateMessage& msg);
+
+  std::uint64_t next_origin_seq() { return ++origin_seq_; }
+
+  Daemon& daemon_;
+  sim::Process& process_;
+  std::set<GroupId> joined_;
+  // One counter across groups keeps OriginIds unique per sender everywhere.
+  std::uint64_t origin_seq_ = 0;
+  MessageHandler on_message_;
+  ViewHandler on_view_;
+  PrivateHandler on_private_;
+};
+
+}  // namespace vdep::gcs

@@ -1,0 +1,85 @@
+// Leader-side group state: membership views, the per-group total order,
+// duplicate suppression of forwards, and stability tracking.
+//
+// Pure protocol logic with no I/O: every handler returns the set of messages
+// to emit, which the daemon then pushes through its reliable links. This
+// keeps the trickiest state machine in the system unit-testable without a
+// network.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gcs/message.hpp"
+
+namespace vdep::gcs {
+
+class LeaderState {
+ public:
+  explicit LeaderState(NodeId self) : self_(self) {}
+
+  struct Emission {
+    NodeId to;
+    InnerMsg msg;
+  };
+  using Emissions = std::vector<Emission>;
+
+  // A multicast or membership operation forwarded by a member daemon.
+  // Assigns sequence numbers / creates views; returns everything to send.
+  Emissions handle_forward(const Forward& fwd);
+
+  // A cumulative receipt ack from a member daemon. Stability advances are
+  // *recorded* here but only published by publish_stability() — modelling
+  // Spread's token-rotation stability (see calib::kStabilityTokenInterval).
+  void handle_ack(const OrdAck& ack);
+
+  // Publishes every stability watermark that advanced since the last call;
+  // the daemon invokes this on its token timer.
+  Emissions publish_stability();
+
+  // A daemon died: drop its processes from every group (new views), stop
+  // expecting its acks (recompute stability).
+  Emissions handle_daemon_death(NodeId daemon);
+
+  // New-leader bootstrap from the SyncStates of all live daemons (this
+  // daemon's own local state included by the caller as one SyncState).
+  // Replays unstable history, installs fresh views without processes hosted
+  // on dead daemons, and re-processes pending forwards.
+  Emissions bootstrap(const std::vector<SyncState>& states,
+                      const std::vector<NodeId>& live_daemons);
+
+  [[nodiscard]] std::optional<View> current_view(GroupId group) const;
+  [[nodiscard]] NodeId self() const { return self_; }
+
+ private:
+  struct EpochTrack {
+    std::vector<NodeId> daemons;              // must-ack set (dead ones removed)
+    std::map<NodeId, std::uint64_t> acked;    // contiguous receipt count
+    std::uint64_t stable_count = 0;           // live (computed) watermark
+    std::uint64_t published_count = 0;        // last token-published watermark
+    std::uint64_t end_count = 0;              // messages in epoch incl. view; 0 = open
+  };
+
+  struct GroupRec {
+    View view;            // current authoritative view (may have 0 members)
+    std::uint64_t next_seq = 1;
+    std::map<ProcessId, std::uint64_t> last_origin;  // forward dedup
+    std::map<std::uint64_t, EpochTrack> epochs;      // open (not fully stable)
+  };
+
+  // Creates the ordered message for a data forward and appends emissions.
+  void order_data(GroupRec& rec, const Forward& fwd, Emissions& out);
+  // Installs a new view with the given members and appends view emissions to
+  // both the old and the new member-daemon sets.
+  void install_view(GroupRec& rec, std::vector<Member> members, Emissions& out);
+  // Recomputes the live stability watermark for (group, epoch).
+  void update_stability(GroupRec& rec, std::uint64_t epoch);
+  [[nodiscard]] static std::vector<NodeId> member_daemons(const View& view);
+  [[nodiscard]] Ordered make_data(const GroupRec& rec, const Forward& fwd) const;
+
+  NodeId self_;
+  std::map<GroupId, GroupRec> groups_;
+};
+
+}  // namespace vdep::gcs

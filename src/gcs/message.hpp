@@ -1,0 +1,135 @@
+// Wire messages of the daemon-to-daemon protocol.
+//
+// Outer framing on net::Port::kGcsDaemon (see reliable_link.hpp):
+//   HEARTBEAT       — failure detection, unreliable
+//   LINK_DATA/ACK   — reliable FIFO link layer carrying one inner message
+//
+// Inner messages (this file):
+//   Forward    — member daemon -> leader: please order this multicast /
+//                membership operation
+//   Ordered    — leader -> member daemons: sequenced message or view change
+//   OrdAck     — member daemon -> leader: I hold (group, epoch, seq)
+//   StableMsg  — leader -> member daemons: stability watermark
+//   Takeover   — new leader -> all daemons: leadership change, send state
+//   SyncState  — daemon -> new leader: buffered messages, pending forwards,
+//                latest views
+//   PrivateMsg — point-to-point datagram between processes (Spread private
+//                groups), off the ordered stream
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "gcs/types.hpp"
+#include "gcs/view.hpp"
+
+namespace vdep::gcs {
+
+struct Forward {
+  enum class Kind : std::uint8_t { kData = 0, kJoin = 1, kLeave = 2, kCrash = 3 };
+
+  GroupId group;
+  Kind kind = Kind::kData;
+  ServiceType svc = ServiceType::kAgreed;
+  OriginId origin;         // sending process + its per-group counter
+  NodeId origin_daemon;    // daemon serving the sending process
+  Bytes payload;
+
+  void encode_to(ByteWriter& w) const;
+  static Forward decode(ByteReader& r);
+};
+
+struct Ordered {
+  enum class Kind : std::uint8_t { kData = 0, kView = 1 };
+
+  GroupId group;
+  std::uint64_t epoch = 0;  // == view id of the governing view
+  std::uint64_t seq = 0;    // 0 for the view message itself, then 1, 2, ...
+  Kind kind = Kind::kData;
+  ServiceType svc = ServiceType::kAgreed;
+  OriginId origin;
+  NodeId origin_daemon;
+  Bytes payload;            // app payload, or View::encode() for kView
+  // kView only: the last sequence number of the previous epoch, so receivers
+  // know when the old epoch's stream is complete.
+  std::uint64_t prev_epoch_end = 0;
+  // Piggybacked stability watermark for (group, epoch), as a count: every
+  // member daemon holds all messages with seq < stable_upto.
+  std::uint64_t stable_upto = 0;
+
+  void encode_to(ByteWriter& w) const;
+  static Ordered decode(ByteReader& r);
+};
+
+struct OrdAck {
+  NodeId from;
+  GroupId group;
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;  // cumulative: holds everything <= seq in epoch
+
+  void encode_to(ByteWriter& w) const;
+  static OrdAck decode(ByteReader& r);
+};
+
+struct StableMsg {
+  GroupId group;
+  std::uint64_t epoch = 0;
+  std::uint64_t upto = 0;  // count: seqs < upto are stable
+
+  void encode_to(ByteWriter& w) const;
+  static StableMsg decode(ByteReader& r);
+};
+
+// Leader -> origin daemon: the forward identified by (group, origin) has been
+// ordered. Lets daemons whose processes are *not* members of the group (e.g.
+// a client multicasting requests into a server group) clear their pending
+// forwards; member daemons clear them on seeing the ordered message itself.
+struct FwdAck {
+  GroupId group;
+  OriginId origin;
+
+  void encode_to(ByteWriter& w) const;
+  static FwdAck decode(ByteReader& r);
+};
+
+struct Takeover {
+  std::uint64_t term = 0;  // monotone leadership term
+  NodeId leader;
+
+  void encode_to(ByteWriter& w) const;
+  static Takeover decode(ByteReader& r);
+};
+
+struct SyncState {
+  std::uint64_t term = 0;
+  NodeId from;
+  std::vector<Ordered> buffered;   // unstable ordered messages this daemon holds
+  std::vector<Forward> pending;    // forwards not yet seen ordered
+  std::vector<View> views;         // latest view per group this daemon knows
+  std::vector<OrdAck> acks;        // current contiguous-receipt watermarks
+
+  void encode_to(ByteWriter& w) const;
+  static SyncState decode(ByteReader& r);
+};
+
+struct PrivateMsg {
+  ProcessId sender;
+  NodeId sender_daemon;
+  ProcessId destination;
+  Bytes payload;
+
+  void encode_to(ByteWriter& w) const;
+  static PrivateMsg decode(ByteReader& r);
+};
+
+using InnerMsg = std::variant<Forward, Ordered, OrdAck, StableMsg, Takeover, SyncState,
+                              PrivateMsg, FwdAck>;
+
+[[nodiscard]] Bytes encode_inner(const InnerMsg& msg);
+[[nodiscard]] InnerMsg decode_inner(const Bytes& raw);
+
+// Application payload bytes carried by an inner message (for wire-size
+// accounting: headers are charged separately).
+[[nodiscard]] std::size_t inner_payload_size(const InnerMsg& msg);
+
+}  // namespace vdep::gcs

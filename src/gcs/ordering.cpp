@@ -1,0 +1,153 @@
+#include "gcs/ordering.hpp"
+
+#include "util/assert.hpp"
+
+namespace vdep::gcs {
+
+std::uint64_t GroupReceiveBuffer::contiguous_seq(std::uint64_t epoch) const {
+  auto it = contiguous_count_.find(epoch);
+  // count == n means seqs [0, n-1] received; returns one past the last, i.e.
+  // the next seq expected for contiguity.
+  return it == contiguous_count_.end() ? 0 : it->second;
+}
+
+bool GroupReceiveBuffer::is_duplicate(const Ordered& msg) const {
+  if (anchored_ && msg.epoch < anchor_floor()) return true;
+  if (msg.seq < contiguous_seq(msg.epoch)) return true;
+  auto pit = pending_seqs_.find(msg.epoch);
+  if (pit != pending_seqs_.end() && pit->second.contains(msg.seq)) return true;
+  return false;
+}
+
+GroupReceiveBuffer::OfferResult GroupReceiveBuffer::offer(const Ordered& msg,
+                                                          NodeId self) {
+  VDEP_ASSERT(msg.group == group_);
+  OfferResult result;
+
+  // Piggybacked stability is useful even on duplicates.
+  set_stable(msg.epoch, msg.stable_upto);
+
+  if (is_duplicate(msg)) return result;
+
+  // Anchor on the first view message we ever accept.
+  if (!anchored_) {
+    if (msg.kind != Ordered::Kind::kView) {
+      // Data for an epoch whose view we have not seen yet: buffer it; the
+      // view will arrive (FIFO from the leader or takeover replay).
+      if (msg.seq == 0) return result;  // seq 0 must be a view
+    } else if (anchor_epoch_candidate_ == 0 || msg.epoch < anchor_epoch_candidate_) {
+      anchor_epoch_candidate_ = msg.epoch;
+    }
+  }
+
+  result.accepted = true;
+  buffer_.emplace(std::make_pair(msg.epoch, msg.seq), msg);
+  pending_seqs_[msg.epoch].insert(msg.seq);
+  extend_contiguity(msg.epoch);
+
+  const std::uint64_t contig = contiguous_seq(msg.epoch);
+  if (contig > 0) {
+    result.ack = OrdAck{self, group_, msg.epoch, contig - 1};
+  }
+  return result;
+}
+
+void GroupReceiveBuffer::extend_contiguity(std::uint64_t epoch) {
+  auto& count = contiguous_count_[epoch];
+  auto& pending = pending_seqs_[epoch];
+  while (pending.contains(count)) {
+    pending.erase(count);
+    ++count;
+  }
+}
+
+void GroupReceiveBuffer::set_stable(std::uint64_t epoch, std::uint64_t stable_count) {
+  auto& cur = stable_upto_[epoch];
+  if (stable_count > cur) {
+    cur = stable_count;
+    garbage_collect(epoch);
+  }
+}
+
+void GroupReceiveBuffer::garbage_collect(std::uint64_t epoch) {
+  const std::uint64_t stable_count = stable_upto_[epoch];
+  auto it = buffer_.lower_bound({epoch, 0});
+  while (it != buffer_.end() && it->first.first == epoch) {
+    const std::uint64_t seq = it->first.second;
+    const bool delivered =
+        anchored_ && (epoch < current_epoch_ ||
+                      (epoch == current_epoch_ && seq < next_seq_));
+    if (seq < stable_count && delivered) {
+      it = buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<Ordered> GroupReceiveBuffer::take_deliverable() {
+  std::vector<Ordered> out;
+  for (;;) {
+    if (!anchored_) {
+      if (anchor_epoch_candidate_ == 0) break;
+      auto it = buffer_.find({anchor_epoch_candidate_, 0});
+      if (it == buffer_.end() || it->second.kind != Ordered::Kind::kView) break;
+      anchored_ = true;
+      anchor_epoch_ = anchor_epoch_candidate_;
+      current_epoch_ = anchor_epoch_candidate_;
+      next_seq_ = 0;
+      // Anything buffered from epochs before the anchor (takeover replays of
+      // history that predates our membership) will never be delivered here.
+      buffer_.erase(buffer_.begin(), buffer_.lower_bound({anchor_epoch_, 0}));
+    }
+
+    auto it = buffer_.find({current_epoch_, next_seq_});
+    if (it != buffer_.end()) {
+      const Ordered& msg = it->second;
+      // SAFE delivery waits for stability; later messages wait behind it to
+      // preserve total order. stable_upto_ holds counts: seqs < count are
+      // stable at every member daemon.
+      if (msg.svc == ServiceType::kSafe &&
+          stable_upto_[current_epoch_] < msg.seq + 1) {
+        break;
+      }
+      if (msg.kind == Ordered::Kind::kView) {
+        installed_view_ = View::decode(msg.payload);
+      }
+      out.push_back(msg);
+      ++next_seq_;
+      garbage_collect(current_epoch_);
+      continue;
+    }
+
+    // Nothing at the cursor: can we cross into the next epoch?
+    auto vit = buffer_.find({current_epoch_ + 1, 0});
+    if (vit != buffer_.end() && vit->second.kind == Ordered::Kind::kView &&
+        next_seq_ > 0 && vit->second.prev_epoch_end <= next_seq_ - 1) {
+      VDEP_ASSERT_MSG(vit->second.prev_epoch_end == next_seq_ - 1,
+                      "delivered past declared epoch end");
+      ++current_epoch_;
+      next_seq_ = 0;
+      continue;
+    }
+    break;
+  }
+  return out;
+}
+
+std::vector<OrdAck> GroupReceiveBuffer::current_acks(NodeId self) const {
+  std::vector<OrdAck> out;
+  for (const auto& [epoch, count] : contiguous_count_) {
+    if (count > 0) out.push_back(OrdAck{self, group_, epoch, count - 1});
+  }
+  return out;
+}
+
+std::vector<Ordered> GroupReceiveBuffer::snapshot_buffered() const {
+  std::vector<Ordered> out;
+  out.reserve(buffer_.size());
+  for (const auto& [key, msg] : buffer_) out.push_back(msg);
+  return out;
+}
+
+}  // namespace vdep::gcs

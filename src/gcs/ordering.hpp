@@ -1,0 +1,88 @@
+// Receiver-side ordered delivery for one group at one daemon.
+//
+// The leader daemon emits a single stream per group: epochs (== view ids)
+// each starting with a view message at seq 0, then data messages seq 1, 2, …
+// This buffer restores that order from whatever arrives (reliable links keep
+// per-peer FIFO, but leader takeovers can replay messages out of order and
+// duplicated), gates SAFE messages on stability, decides when an epoch ends
+// and the next view can be installed, and retains messages until they are
+// stable so a new leader can rebuild the stream from the union of member
+// buffers after a takeover.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "gcs/message.hpp"
+
+namespace vdep::gcs {
+
+class GroupReceiveBuffer {
+ public:
+  explicit GroupReceiveBuffer(GroupId group) : group_(group) {}
+
+  struct OfferResult {
+    bool accepted = false;  // false for duplicates / pre-anchor epochs
+    // When receipt contiguity advanced, the cumulative ack to send to the
+    // leader for the offered message's epoch.
+    std::optional<OrdAck> ack;
+  };
+
+  OfferResult offer(const Ordered& msg, NodeId self);
+
+  // Stability watermark from the leader (piggybacked or explicit). The
+  // watermark is a *count*: every seq < stable_count is held by all member
+  // daemons of that epoch.
+  void set_stable(std::uint64_t epoch, std::uint64_t stable_count);
+
+  // Pops every message now deliverable, in delivery order. View messages are
+  // included (kind == kView); the caller installs them.
+  [[nodiscard]] std::vector<Ordered> take_deliverable();
+
+  // Everything still buffered (not yet stable), for SyncState on takeover.
+  [[nodiscard]] std::vector<Ordered> snapshot_buffered() const;
+
+  // Current contiguous-receipt watermarks per epoch, for SyncState.
+  [[nodiscard]] std::vector<OrdAck> current_acks(NodeId self) const;
+
+  [[nodiscard]] const std::optional<View>& last_delivered_view() const {
+    return installed_view_;
+  }
+  [[nodiscard]] bool anchored() const { return anchored_; }
+  [[nodiscard]] std::uint64_t current_epoch() const { return current_epoch_; }
+  // Seq of the next message to deliver in the current epoch.
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  [[nodiscard]] bool is_duplicate(const Ordered& msg) const;
+  [[nodiscard]] std::uint64_t contiguous_seq(std::uint64_t epoch) const;
+  // Epochs below this were never tracked here (we joined later); offers for
+  // them are duplicates by construction.
+  [[nodiscard]] std::uint64_t anchor_floor() const {
+    return anchored_ ? anchor_epoch_ : 0;
+  }
+  void extend_contiguity(std::uint64_t epoch);
+  void garbage_collect(std::uint64_t epoch);
+
+  GroupId group_;
+  bool anchored_ = false;
+  std::uint64_t anchor_epoch_ = 0;
+  // Smallest view epoch seen while not yet anchored.
+  std::uint64_t anchor_epoch_candidate_ = 0;
+  std::uint64_t current_epoch_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::optional<View> installed_view_;
+
+  // Message store, retained until stable AND delivered.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Ordered> buffer_;
+  // Per epoch: count of contiguously received messages starting at seq 0.
+  std::map<std::uint64_t, std::uint64_t> contiguous_count_;
+  // Per epoch: received seqs beyond the contiguous prefix.
+  std::map<std::uint64_t, std::set<std::uint64_t>> pending_seqs_;
+  // Per epoch: stability watermark.
+  std::map<std::uint64_t, std::uint64_t> stable_upto_;
+};
+
+}  // namespace vdep::gcs

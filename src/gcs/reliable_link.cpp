@@ -1,0 +1,127 @@
+#include "gcs/reliable_link.hpp"
+
+#include "net/link.hpp"
+#include "util/assert.hpp"
+#include "util/calibration.hpp"
+
+namespace vdep::gcs {
+
+namespace {
+
+constexpr SimTime kRetransmitTimeout = msec(15);
+
+enum class FrameType : std::uint8_t { kData = 1, kAck = 2, kRaw = 3 };
+
+Bytes encode_frame(FrameType type, std::uint64_t seq, const Bytes& inner) {
+  ByteWriter w(inner.size() + 16);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(seq);
+  w.bytes(inner);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+ReliableLink::ReliableLink(sim::Process& owner, net::Network& network, DeliverFn deliver,
+                           RawFn raw_deliver)
+    : owner_(owner),
+      network_(network),
+      deliver_(std::move(deliver)),
+      raw_deliver_(std::move(raw_deliver)) {}
+
+void ReliableLink::transmit(NodeId to, const Bytes& frame, std::size_t wire,
+                            bool counted) {
+  net::Packet p;
+  p.src = owner_.host();
+  p.dst = to;
+  p.port = net::Port::kGcsDaemon;
+  p.payload = frame;
+  p.wire_bytes = wire;
+  p.counted = counted;
+  network_.send(std::move(p));
+}
+
+void ReliableLink::send(NodeId to, Bytes inner, std::size_t payload_bytes) {
+  auto& peer = tx_[to];
+  const std::uint64_t seq = peer.next_seq++;
+  Bytes frame = encode_frame(FrameType::kData, seq, inner);
+  const std::size_t wire = net::wire_bytes(payload_bytes, calib::kGcsHeaderBytes) +
+                           (inner.size() - payload_bytes);
+  peer.unacked[seq] = Unacked{frame, wire};
+  transmit(to, frame, wire, /*counted=*/true);
+  arm_retransmit(to);
+}
+
+void ReliableLink::send_raw(NodeId to, Bytes inner) {
+  Bytes frame = encode_frame(FrameType::kRaw, 0, inner);
+  transmit(to, frame, frame.size(), /*counted=*/false);
+}
+
+void ReliableLink::send_ack(NodeId to, std::uint64_t cumulative) {
+  Bytes frame = encode_frame(FrameType::kAck, cumulative, {});
+  transmit(to, frame, frame.size(), /*counted=*/false);
+}
+
+void ReliableLink::arm_retransmit(NodeId to) {
+  auto& peer = tx_[to];
+  if (peer.retransmit_timer.active() || peer.unacked.empty()) return;
+  peer.retransmit_timer = owner_.post(kRetransmitTimeout, [this, to] {
+    auto it = tx_.find(to);
+    if (it == tx_.end() || it->second.unacked.empty()) return;
+    for (const auto& [seq, u] : it->second.unacked) {
+      ++retransmissions_;
+      transmit(to, u.frame, u.wire_bytes, /*counted=*/true);
+    }
+    arm_retransmit(to);
+  });
+}
+
+void ReliableLink::forget_peer(NodeId peer) {
+  auto it = tx_.find(peer);
+  if (it == tx_.end()) return;
+  it->second.retransmit_timer.cancel();
+  tx_.erase(it);
+}
+
+void ReliableLink::handle_packet(net::Packet&& packet) {
+  ByteReader r(packet.payload);
+  const auto type = static_cast<FrameType>(r.u8());
+  const std::uint64_t seq = r.u64();
+  Bytes inner = r.bytes();
+
+  switch (type) {
+    case FrameType::kRaw:
+      raw_deliver_(packet.src, std::move(inner));
+      return;
+
+    case FrameType::kAck: {
+      auto it = tx_.find(packet.src);
+      if (it == tx_.end()) return;
+      auto& unacked = it->second.unacked;
+      unacked.erase(unacked.begin(), unacked.upper_bound(seq));
+      if (unacked.empty()) it->second.retransmit_timer.cancel();
+      return;
+    }
+
+    case FrameType::kData: {
+      auto& peer = rx_[packet.src];
+      if (seq >= peer.next_expected && !peer.reorder.contains(seq)) {
+        peer.reorder[seq] = std::move(inner);
+      }
+      // Deliver the contiguous prefix.
+      while (true) {
+        auto dit = peer.reorder.find(peer.next_expected);
+        if (dit == peer.reorder.end()) break;
+        Bytes msg = std::move(dit->second);
+        peer.reorder.erase(dit);
+        ++peer.next_expected;
+        deliver_(packet.src, std::move(msg));
+      }
+      send_ack(packet.src, peer.next_expected - 1);
+      return;
+    }
+  }
+  throw DecodeError("bad link frame type");
+}
+
+}  // namespace vdep::gcs

@@ -1,0 +1,76 @@
+// Reliable FIFO point-to-point links between group-communication daemons.
+//
+// The simulated network can drop packets (transient communication faults in
+// the paper's fault model); this layer adds per-peer sequencing, cumulative
+// acks and timer-driven retransmission so every daemon-to-daemon message is
+// delivered exactly once and in order — the substrate the sequencer protocol
+// is built on. Link acks are control traffic (uncounted, cheap), standing in
+// for the acknowledgement piggybacking on Spread's token.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/network.hpp"
+#include "sim/actor.hpp"
+
+namespace vdep::gcs {
+
+class ReliableLink {
+ public:
+  // `deliver` receives in-order inner message bytes from a peer daemon.
+  using DeliverFn = std::function<void(NodeId from, Bytes&& inner)>;
+  // Raw (unreliable, uncounted) frames: heartbeats.
+  using RawFn = std::function<void(NodeId from, Bytes&& inner)>;
+
+  ReliableLink(sim::Process& owner, net::Network& network, DeliverFn deliver,
+               RawFn raw_deliver);
+
+  // Reliable FIFO send. `payload_bytes` is the application-payload portion
+  // used for fragmentation-aware wire accounting.
+  void send(NodeId to, Bytes inner, std::size_t payload_bytes);
+
+  // Fire-and-forget, uncounted (heartbeats).
+  void send_raw(NodeId to, Bytes inner);
+
+  // Entry point for packets arriving on Port::kGcsDaemon.
+  void handle_packet(net::Packet&& packet);
+
+  // Peer declared dead: drop outstanding retransmission state. Receive state
+  // is kept so late duplicates from a wrongly-suspected peer stay deduped.
+  void forget_peer(NodeId peer);
+
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct Unacked {
+    Bytes frame;
+    std::size_t wire_bytes;
+  };
+
+  struct PeerTx {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, Unacked> unacked;
+    sim::EventHandle retransmit_timer;
+  };
+
+  struct PeerRx {
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, Bytes> reorder;
+  };
+
+  void transmit(NodeId to, const Bytes& frame, std::size_t wire, bool counted);
+  void arm_retransmit(NodeId to);
+  void send_ack(NodeId to, std::uint64_t cumulative);
+
+  sim::Process& owner_;
+  net::Network& network_;
+  DeliverFn deliver_;
+  RawFn raw_deliver_;
+  std::map<NodeId, PeerTx> tx_;
+  std::map<NodeId, PeerRx> rx_;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace vdep::gcs

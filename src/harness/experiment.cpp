@@ -1,0 +1,51 @@
+#include "harness/experiment.hpp"
+
+namespace vdep::harness {
+
+knobs::DesignPoint run_design_point(const SweepConfig& sweep,
+                                    replication::ReplicationStyle style, int replicas,
+                                    int clients) {
+  ScenarioConfig config = sweep.base;
+  config.clients = clients;
+  config.replicas = replicas;
+  config.max_replicas = replicas;
+  config.style = style;
+  config.replicated = true;
+  // Independent but reproducible seed per grid point.
+  config.seed = sweep.seed ^ (static_cast<std::uint64_t>(style) << 40) ^
+                (static_cast<std::uint64_t>(replicas) << 20) ^
+                static_cast<std::uint64_t>(clients);
+
+  Scenario scenario(std::move(config));
+  Scenario::CycleConfig cycle;
+  cycle.requests_per_client = sweep.requests_per_client;
+  cycle.warmup_requests = sweep.warmup_requests;
+  const ExperimentResult result = scenario.run_closed_loop(cycle);
+
+  knobs::DesignPoint point;
+  point.config = knobs::Configuration{style, replicas};
+  point.clients = clients;
+  point.latency_us = result.avg_latency_us;
+  point.jitter_us = result.jitter_us;
+  point.bandwidth_mbps = result.bandwidth_mbps;
+  point.throughput_rps = result.throughput_rps;
+  point.faults_tolerated = result.faults_tolerated;
+  return point;
+}
+
+knobs::DesignSpaceMap profile_design_space(const SweepConfig& sweep,
+                                           const PointObserver& observer) {
+  knobs::DesignSpaceMap map;
+  for (auto style : sweep.styles) {
+    for (int replicas : sweep.replica_counts) {
+      for (int clients : sweep.client_counts) {
+        knobs::DesignPoint point = run_design_point(sweep, style, replicas, clients);
+        if (observer) observer(point);
+        map.add(point);
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace vdep::harness

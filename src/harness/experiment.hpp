@@ -1,0 +1,40 @@
+// Experiment sweeps: run the micro-benchmark over a grid of configurations
+// and collect the design-space map the paper's Figs. 7-9 and Table 2 are
+// built from. Each grid point is an independent Scenario (fresh simulated
+// testbed, seed derived from the base seed) — the simulated analogue of
+// re-running the testbed experiment.
+#pragma once
+
+#include <functional>
+
+#include "harness/scenario.hpp"
+#include "knobs/design_space.hpp"
+
+namespace vdep::harness {
+
+struct SweepConfig {
+  std::uint64_t seed = 42;
+  std::vector<replication::ReplicationStyle> styles = {
+      replication::ReplicationStyle::kActive,
+      replication::ReplicationStyle::kWarmPassive};
+  std::vector<int> replica_counts = {1, 2, 3};
+  std::vector<int> client_counts = {1, 2, 3, 4, 5};
+  int requests_per_client = calib::kDefaultCycleRequests;
+  int warmup_requests = 200;
+  // Base scenario parameters applied to every grid point.
+  ScenarioConfig base;
+};
+
+// Observer invoked after each point (progress reporting in benches).
+using PointObserver = std::function<void(const knobs::DesignPoint&)>;
+
+// Runs the full grid; returns the profiled design space.
+[[nodiscard]] knobs::DesignSpaceMap profile_design_space(const SweepConfig& sweep,
+                                                         const PointObserver& observer = {});
+
+// Runs one configuration and converts the result to a design point.
+[[nodiscard]] knobs::DesignPoint run_design_point(const SweepConfig& sweep,
+                                                  replication::ReplicationStyle style,
+                                                  int replicas, int clients);
+
+}  // namespace vdep::harness

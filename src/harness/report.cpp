@@ -1,0 +1,121 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace vdep::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  VDEP_ASSERT_MSG(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << " " << cells[i] << std::string(widths[i] - cells[i].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+  return os.str();
+}
+
+std::string render_bars(const std::string& title, const std::string& unit,
+                        const std::vector<Bar>& bars, int width) {
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& bar : bars) {
+    max_value = std::max(max_value, bar.value + bar.error);
+    label_width = std::max(label_width, bar.label.size());
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+
+  std::ostringstream os;
+  os << title << "\n";
+  for (const auto& bar : bars) {
+    const int filled =
+        static_cast<int>(bar.value / max_value * static_cast<double>(width) + 0.5);
+    os << "  " << bar.label << std::string(label_width - bar.label.size(), ' ') << " |"
+       << std::string(static_cast<std::size_t>(std::max(filled, 0)), '#')
+       << std::string(static_cast<std::size_t>(std::max(width - filled, 0)), ' ') << "| "
+       << Table::num(bar.value);
+    if (bar.error > 0.0) os << " +/- " << Table::num(bar.error);
+    os << " " << unit << "\n";
+  }
+  return os.str();
+}
+
+std::string render_series(const std::string& title, const sim::TimeSeries& series,
+                          SimTime start, SimTime end, SimTime step, double max_value,
+                          int width) {
+  std::ostringstream os;
+  os << title << "\n";
+  if (max_value <= 0.0) max_value = 1.0;
+  for (const auto& point : series.resample(start, end, step)) {
+    const int filled = static_cast<int>(
+        std::clamp(point.value / max_value, 0.0, 1.0) * static_cast<double>(width) + 0.5);
+    char t[32];
+    std::snprintf(t, sizeof t, "%8.2fs", to_sec(point.at));
+    os << "  " << t << " |"
+       << std::string(static_cast<std::size_t>(filled), '#')
+       << std::string(static_cast<std::size_t>(width - filled), ' ') << "| "
+       << Table::num(point.value) << "\n";
+  }
+  return os.str();
+}
+
+bool write_csv(const std::string& path, const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "write_csv: cannot open %s\n", path.c_str());
+    return false;
+  }
+  auto emit = [f](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::fputs(cells[i].c_str(), f);
+      std::fputc(i + 1 < cells.size() ? ',' : '\n', f);
+    }
+  };
+  emit(headers);
+  for (const auto& row : rows) {
+    VDEP_ASSERT(row.size() == headers.size());
+    emit(row);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace vdep::harness

@@ -1,0 +1,52 @@
+// Reporting: aligned ASCII tables, simple horizontal bar charts and series
+// plots so every bench binary can print the same rows/curves the paper's
+// tables and figures show.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace vdep::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 1);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Horizontal bar chart (Fig. 3/4 style): one labelled bar per entry, with an
+// optional "+/- err" suffix for jitter bars.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+  double error = 0.0;  // 0 = none
+};
+
+[[nodiscard]] std::string render_bars(const std::string& title, const std::string& unit,
+                                      const std::vector<Bar>& bars, int width = 50);
+
+// Time-series plot rendered as rows of (time, value) with a spark bar
+// (Fig. 6 style).
+[[nodiscard]] std::string render_series(const std::string& title,
+                                        const sim::TimeSeries& series, SimTime start,
+                                        SimTime end, SimTime step, double max_value,
+                                        int width = 50);
+
+// Writes rows as CSV (no quoting needed for our numeric/label cells) so
+// figure data can be re-plotted outside the ASCII renderings. Returns false
+// (and warns on stderr) if the file cannot be opened.
+bool write_csv(const std::string& path, const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace vdep::harness

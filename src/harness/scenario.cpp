@@ -1,0 +1,457 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace vdep::harness {
+
+namespace {
+constexpr GroupId kAppGroup{1};
+constexpr GroupId kMonitorGroup{2};
+constexpr std::uint16_t kServerPort = 7001;
+constexpr ObjectId kObjectKey{1};
+// Replicas join staggered at boot; clients start once the group is settled.
+constexpr SimTime kReplicaBootStagger = msec(1);
+constexpr SimTime kClientStartTime = msec(200);
+}  // namespace
+
+// One replica: process, servant, ORB stack and (in replicated mode) the
+// replicator plus optional monitoring/adaptation.
+struct Scenario::ReplicaBundle {
+  ReplicaBundle(Scenario& owner, int index, NodeId host, ProcessId pid)
+      : index(index),
+        process(owner.kernel(), pid, host,
+                "replica" + std::to_string(index) + "@" +
+                    owner.network().host_name(host)),
+        servant(owner.config().make_servant
+                    ? owner.config().make_servant(index)
+                    : std::make_unique<app::TestServant>(app::TestServant::Config{
+                          owner.config().state_bytes, owner.config().reply_bytes,
+                          owner.config().app_exec_time})),
+        orb(owner.network(), process, poa) {
+    poa.activate(kObjectKey, *servant);
+  }
+
+  int index;
+  sim::Process process;
+  std::unique_ptr<replication::Checkpointable> servant;
+  orb::Poa poa;
+  orb::ServerOrb orb;
+  std::unique_ptr<replication::Replicator> replicator;
+  std::unique_ptr<monitor::ReplicatedStateObject> state;
+  std::unique_ptr<adaptive::AdaptationManager> adaptation;
+  // Non-replicated modes (Fig. 4 baseline / interception-only bars).
+  std::unique_ptr<orb::DirectServerAcceptor> acceptor;
+  std::unique_ptr<interpose::InterceptOnlyServerAcceptor> intercepting_acceptor;
+  bool started = false;
+
+  [[nodiscard]] bool live() const {
+    return started && process.alive() &&
+           (replicator == nullptr || !replicator->stopped());
+  }
+};
+
+struct Scenario::ClientBundle {
+  ClientBundle(Scenario& owner, int index, NodeId host, ProcessId pid)
+      : index(index),
+        process(owner.kernel(), pid, host,
+                "client" + std::to_string(index) + "@" +
+                    owner.network().host_name(host)),
+        orb(owner.network(), process) {}
+
+  int index;
+  sim::Process process;
+  orb::ClientOrb orb;
+  replication::ClientCoordinator* coordinator = nullptr;  // owned by orb
+  std::unique_ptr<app::ClosedLoopClient> closed;
+  std::unique_ptr<app::OpenLoopClient> open;
+};
+
+Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+  VDEP_ASSERT(config_.clients >= 1);
+  VDEP_ASSERT(config_.replicas >= 1);
+  config_.max_replicas = std::max(config_.max_replicas, config_.replicas);
+  build();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build() {
+  kernel_ = std::make_unique<sim::Kernel>(config_.seed);
+  network_ = std::make_unique<net::Network>(*kernel_);
+  channels_ = std::make_unique<net::ChannelManager>(*network_);
+
+  // Hosts: clients first (so the first client's daemon is the GCS leader,
+  // matching the calibration of the request path), then replica machines.
+  std::vector<NodeId> hosts;
+  for (int c = 0; c < config_.clients; ++c) {
+    hosts.push_back(network_->add_host("cli" + std::to_string(c)));
+  }
+  for (int r = 0; r < config_.max_replicas; ++r) {
+    hosts.push_back(network_->add_host("srv" + std::to_string(r)));
+  }
+
+  for (NodeId host : hosts) {
+    daemons_.push_back(std::make_unique<gcs::Daemon>(
+        *kernel_, *network_, ProcessId{next_pid_++}, host, hosts, config_.daemon));
+  }
+  for (auto& d : daemons_) d->boot();
+
+  // Replicas.
+  next_pid_ = 1000;
+  for (int r = 0; r < config_.replicas; ++r) {
+    const NodeId host{static_cast<std::uint64_t>(config_.clients + r)};
+    replicas_.push_back(std::make_unique<ReplicaBundle>(
+        *this, r, host, ProcessId{next_pid_++}));
+    const int index = r;
+    kernel_->post(kReplicaBootStagger * (r + 1),
+                  [this, index] { start_replica(index, /*join_existing=*/false); });
+  }
+
+  // Clients.
+  next_pid_ = 5000;
+  for (int c = 0; c < config_.clients; ++c) {
+    const NodeId host{static_cast<std::uint64_t>(c)};
+    auto client = std::make_unique<ClientBundle>(*this, c, host, ProcessId{next_pid_++});
+
+    if (config_.replicated) {
+      replication::ClientCoordinatorParams params;
+      params.policy = config_.response_policy;
+      auto coordinator = std::make_unique<replication::ClientCoordinator>(
+          *network_, daemon_on(host), client->process, params);
+      client->coordinator = coordinator.get();
+      client->orb.use_transport(std::move(coordinator));
+    } else {
+      std::unique_ptr<orb::ClientTransport> transport =
+          std::make_unique<orb::DirectClientTransport>(*channels_, host);
+      const bool client_intercepted =
+          config_.intercept == interpose::InterceptMode::kClientOnly ||
+          config_.intercept == interpose::InterceptMode::kBoth;
+      if (client_intercepted) {
+        transport = std::make_unique<interpose::InterceptOnlyClientTransport>(
+            *network_, client->process, std::move(transport));
+      }
+      client->orb.use_transport(std::move(transport));
+    }
+    clients_.push_back(std::move(client));
+  }
+}
+
+void Scenario::start_replica(int index, bool join_existing) {
+  auto& bundle = *replicas_.at(index);
+  VDEP_ASSERT(!bundle.started);
+  bundle.started = true;
+
+  if (!config_.replicated) {
+    // Plain/intercepted TCP server (only replica 0 serves).
+    const bool server_intercepted =
+        config_.intercept == interpose::InterceptMode::kServerOnly ||
+        config_.intercept == interpose::InterceptMode::kBoth;
+    if (server_intercepted) {
+      bundle.intercepting_acceptor = std::make_unique<interpose::InterceptOnlyServerAcceptor>(
+          *channels_, bundle.process.host(), kServerPort, bundle.orb);
+    } else {
+      bundle.acceptor = std::make_unique<orb::DirectServerAcceptor>(
+          *channels_, bundle.process.host(), kServerPort, bundle.orb);
+    }
+    return;
+  }
+
+  replication::ReplicatorParams params;
+  params.checkpoint_interval = config_.checkpoint_interval;
+  params.checkpoint_every_requests = config_.checkpoint_every_requests;
+  bundle.replicator = std::make_unique<replication::Replicator>(
+      *network_, daemon_on(bundle.process.host()), bundle.process, bundle.orb,
+      *bundle.servant, kAppGroup, params);
+  bundle.replicator->start(config_.style, join_existing);
+
+  if (config_.enable_replicated_state || config_.adaptation) {
+    auto* replicator = bundle.replicator.get();
+    auto& process = bundle.process;
+    auto& network = *network_;
+    bundle.state = std::make_unique<monitor::ReplicatedStateObject>(
+        daemon_on(process.host()), process, kMonitorGroup,
+        [replicator, &process, &network] {
+          monitor::StateEntry entry;
+          entry.cpu_load = network.cpu(process.host()).load_since_last_sample();
+          entry.request_rate = replicator->observed_request_rate();
+          return entry;
+        });
+    bundle.state->start();
+  }
+  if (config_.adaptation) {
+    bundle.adaptation = std::make_unique<adaptive::AdaptationManager>(
+        *bundle.replicator, *bundle.state,
+        std::make_unique<adaptive::RateThresholdPolicy>(*config_.adaptation));
+    bundle.adaptation->start();
+  }
+}
+
+gcs::Daemon& Scenario::daemon_on(NodeId host) {
+  for (auto& d : daemons_) {
+    if (d->host() == host) return *d;
+  }
+  throw std::out_of_range("no daemon on host " + host.str());
+}
+
+orb::ObjectRef Scenario::object_ref() const {
+  orb::ObjectRef ref;
+  ref.object_key = kObjectKey;
+  ref.direct = orb::DirectProfile{NodeId{static_cast<std::uint64_t>(config_.clients)},
+                                  kServerPort};
+  ref.group = orb::GroupProfile{kAppGroup};
+  return ref;
+}
+
+replication::Replicator& Scenario::replicator(int index) {
+  auto& r = replicas_.at(index)->replicator;
+  VDEP_ASSERT_MSG(r != nullptr, "not a replicated scenario");
+  return *r;
+}
+
+replication::Checkpointable& Scenario::app(int index) {
+  return *replicas_.at(index)->servant;
+}
+
+app::TestServant& Scenario::servant(int index) {
+  auto* typed = dynamic_cast<app::TestServant*>(replicas_.at(index)->servant.get());
+  VDEP_ASSERT_MSG(typed != nullptr, "scenario uses a custom servant; call app()");
+  return *typed;
+}
+
+sim::Process& Scenario::replica_process(int index) { return replicas_.at(index)->process; }
+
+ProcessId Scenario::replica_pid(int index) const { return replicas_.at(index)->process.id(); }
+
+NodeId Scenario::replica_host(int index) const { return replicas_.at(index)->process.host(); }
+
+ProcessId Scenario::client_pid(int index) const { return clients_.at(index)->process.id(); }
+
+int Scenario::live_replicas() const {
+  int n = 0;
+  for (const auto& r : replicas_) {
+    if (r->live()) ++n;
+  }
+  return n;
+}
+
+Scenario::ReplicaBundle& Scenario::first_live_replica() {
+  for (auto& r : replicas_) {
+    if (r->live()) return *r;
+  }
+  throw std::runtime_error("no live replica");
+}
+
+const Scenario::ReplicaBundle& Scenario::first_live_replica() const {
+  for (const auto& r : replicas_) {
+    if (r->live()) return *r;
+  }
+  throw std::runtime_error("no live replica");
+}
+
+void Scenario::arm_faults() {
+  if (faults_armed_ || fault_plan_.empty()) return;
+  faults_armed_ = true;
+  std::vector<sim::Process*> processes;
+  for (auto& d : daemons_) processes.push_back(d.get());
+  for (auto& r : replicas_) processes.push_back(&r->process);
+  for (auto& c : clients_) processes.push_back(&c->process);
+  fault_plan_.arm(*kernel_, *network_, std::move(processes));
+}
+
+// --- knob actuation -------------------------------------------------------------
+
+void Scenario::set_style(replication::ReplicationStyle style) {
+  first_live_replica().replicator->request_style_switch(style);
+}
+
+replication::ReplicationStyle Scenario::style() const {
+  return first_live_replica().replicator->style();
+}
+
+void Scenario::set_replica_count(int replicas) {
+  VDEP_ASSERT(replicas >= 1);
+  int live = live_replicas();
+  // Shrink: retire the most junior live replicas.
+  for (auto it = replicas_.rbegin(); it != replicas_.rend() && live > replicas; ++it) {
+    if (!(*it)->live()) continue;
+    (*it)->replicator->stop();
+    --live;
+  }
+  // Grow: start new replicas on replica hosts without a live resident.
+  while (live < replicas) {
+    NodeId free_host;
+    bool found = false;
+    for (int r = 0; r < config_.max_replicas && !found; ++r) {
+      const NodeId host{static_cast<std::uint64_t>(config_.clients + r)};
+      const bool occupied = std::any_of(
+          replicas_.begin(), replicas_.end(),
+          [host](const auto& b) { return b->live() && b->process.host() == host; });
+      if (!occupied) {
+        free_host = host;
+        found = true;
+      }
+    }
+    if (!found) throw std::runtime_error("no free replica host; raise max_replicas");
+    const int index = static_cast<int>(replicas_.size());
+    replicas_.push_back(std::make_unique<ReplicaBundle>(*this, index, free_host,
+                                                        ProcessId{next_pid_++}));
+    start_replica(index, /*join_existing=*/true);
+    ++live;
+  }
+}
+
+int Scenario::replica_count() const { return live_replicas(); }
+
+void Scenario::set_checkpoint_interval(SimTime interval) {
+  config_.checkpoint_interval = interval;
+  for (auto& r : replicas_) {
+    if (r->live() && r->replicator) r->replicator->set_checkpoint_interval(interval);
+  }
+}
+
+SimTime Scenario::checkpoint_interval() const { return config_.checkpoint_interval; }
+
+void Scenario::drain(SimTime extra) { kernel_->run_until(kernel_->now() + extra); }
+
+std::vector<std::uint64_t> Scenario::live_state_digests() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& r : replicas_) {
+    if (r->live()) out.push_back(r->servant->state_digest());
+  }
+  return out;
+}
+
+// --- runs -----------------------------------------------------------------------
+
+ExperimentResult Scenario::run_closed_loop(CycleConfig cycle) {
+  arm_faults();
+
+  int warm_remaining = static_cast<int>(clients_.size());
+  int done_remaining = static_cast<int>(clients_.size());
+  SimTime measure_start = kTimeZero;
+  std::uint64_t bytes_at_measure_start = 0;
+
+  for (auto& client : clients_) {
+    app::ClosedLoopClient::Config cfg;
+    cfg.request_bytes = config_.request_bytes;
+    cfg.warmup_requests = cycle.warmup_requests;
+    cfg.total_requests = cycle.warmup_requests + cycle.requests_per_client;
+    client->closed =
+        std::make_unique<app::ClosedLoopClient>(client->orb, object_ref(), cfg);
+    client->closed->set_on_warmup_done([&] {
+      if (--warm_remaining == 0) {
+        measure_start = kernel_->now();
+        network_->reset_totals();
+        bytes_at_measure_start = 0;
+      }
+    });
+    client->closed->set_on_done([&] {
+      if (--done_remaining == 0) kernel_->stop();
+    });
+    const int index = client->index;
+    kernel_->post_at(kClientStartTime + usec(250) * index,
+                     [this, index] { clients_[index]->closed->start(); });
+  }
+
+  kernel_->run_until(cycle.max_duration);
+
+  // Gather.
+  ExperimentResult result;
+  Sampler merged;
+  SimTime last_done = kTimeZero;
+  for (auto& client : clients_) {
+    merged.merge(client->closed->latencies());
+    last_done = std::max(last_done, client->closed->last_completed_at());
+    result.completed += static_cast<std::uint64_t>(client->closed->completed());
+    if (client->coordinator != nullptr) {
+      result.retransmissions += client->coordinator->retransmissions();
+    }
+  }
+  result.avg_latency_us = merged.stats().mean();
+  result.jitter_us = merged.stats().stddev();
+  result.p50_latency_us = merged.percentile(50);
+  result.p99_latency_us = merged.percentile(99);
+  result.max_latency_us = merged.stats().max();
+
+  const SimTime window = last_done - measure_start;
+  result.duration_s = to_sec(window);
+  if (window > kTimeZero) {
+    result.bandwidth_mbps =
+        static_cast<double>(network_->totals().bytes - bytes_at_measure_start) / 1e6 /
+        to_sec(window);
+    result.throughput_rps = static_cast<double>(merged.count()) / to_sec(window);
+  }
+  result.faults_tolerated = config_.replicated ? live_replicas() - 1 : 0;
+  return result;
+}
+
+OpenLoopResult Scenario::run_open_loop(const OpenLoopConfig& config) {
+  arm_faults();
+  OpenLoopResult result;
+
+  // Split the plan's rate across the clients.
+  std::vector<app::RatePlan::Segment> scaled;
+  for (const auto& seg : config.plan.segments()) {
+    scaled.push_back({seg.start, seg.rate_rps / static_cast<double>(clients_.size())});
+  }
+  const app::RatePlan per_client_plan(scaled);
+
+  for (auto& client : clients_) {
+    app::OpenLoopClient::Config cfg;
+    cfg.request_bytes = config.request_bytes;
+    cfg.duration = config.duration;
+    client->open = std::make_unique<app::OpenLoopClient>(
+        client->orb, object_ref(), per_client_plan, cfg,
+        kernel_->fork_rng(0xc11e0000 + static_cast<std::uint64_t>(client->index)));
+    const int index = client->index;
+    kernel_->post_at(kClientStartTime + usec(250) * index,
+                     [this, index] { clients_[index]->open->start(); });
+  }
+
+  // Periodic sampling of the Fig. 6 series.
+  const SimTime sample_end = kClientStartTime + config.duration;
+  std::function<void()> sample = [&] {
+    if (kernel_->now() > sample_end) return;
+    auto& head = first_live_replica();
+    result.observed_rate.record(kernel_->now(),
+                                head.replicator->observed_request_rate());
+    const auto style = head.replicator->style();
+    const bool active_family = style == replication::ReplicationStyle::kActive ||
+                               style == replication::ReplicationStyle::kSemiActive;
+    result.style_series.record(kernel_->now(), active_family ? 1.0 : 0.0);
+    kernel_->post(config.sample_interval, sample);
+  };
+  kernel_->post_at(kClientStartTime, sample);
+
+  const std::uint64_t bytes_before = network_->totals().bytes;
+  kernel_->run_until(kClientStartTime + config.duration + sec(2));
+
+  Sampler merged;
+  for (auto& client : clients_) {
+    merged.merge(client->open->latencies());
+    result.totals.completed += client->open->completed();
+    if (client->coordinator != nullptr) {
+      result.totals.retransmissions += client->coordinator->retransmissions();
+    }
+  }
+  result.totals.avg_latency_us = merged.stats().mean();
+  result.totals.jitter_us = merged.stats().stddev();
+  result.totals.p50_latency_us = merged.percentile(50);
+  result.totals.p99_latency_us = merged.percentile(99);
+  result.totals.max_latency_us = merged.stats().max();
+  result.totals.duration_s = to_sec(config.duration);
+  result.totals.bandwidth_mbps =
+      static_cast<double>(network_->totals().bytes - bytes_before) / 1e6 /
+      to_sec(config.duration);
+  result.totals.throughput_rps =
+      static_cast<double>(result.totals.completed) / to_sec(config.duration);
+  result.totals.faults_tolerated = live_replicas() - 1;
+  result.switches = first_live_replica().replicator->switch_history();
+  return result;
+}
+
+}  // namespace vdep::harness

@@ -1,0 +1,171 @@
+// Scenario: builds a complete simulated testbed — hosts, daemons, a
+// replicated (or plain) server, clients — runs workloads against it and
+// collects the metrics the paper reports. Mirrors the paper's deployment:
+// one process per host, a group-communication daemon on every host, clients
+// on their own machines ("we were limited to eight computers").
+//
+// Scenario also implements knobs::ReplicaGroupController, so the knob layer
+// can actuate live changes: style switches, replica growth/shrink with state
+// transfer, checkpoint-interval changes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "adaptive/adaptation_manager.hpp"
+#include "app/test_app.hpp"
+#include "app/workload.hpp"
+#include "interpose/interposer.hpp"
+#include "knobs/low_level.hpp"
+#include "monitor/bandwidth_meter.hpp"
+#include "net/fault_plan.hpp"
+#include "replication/client_coordinator.hpp"
+#include "replication/replicator.hpp"
+
+namespace vdep::harness {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  int clients = 1;
+  int replicas = 1;
+  // Extra pre-provisioned replica hosts so the NumReplicas knob can grow the
+  // group at runtime.
+  int max_replicas = 3;
+  replication::ReplicationStyle style = replication::ReplicationStyle::kActive;
+
+  // Transport mode: replicated (through the replicator + group comm) or the
+  // plain/intercepted TCP paths of Fig. 4.
+  bool replicated = true;
+  interpose::InterceptMode intercept = interpose::InterceptMode::kNone;
+  replication::ResponsePolicy response_policy = replication::ResponsePolicy::kFirstReply;
+
+  // Application parameters (Table 1).
+  std::size_t request_bytes = calib::kDefaultRequestBytes;
+  std::size_t reply_bytes = calib::kDefaultReplyBytes;
+  std::size_t state_bytes = calib::kDefaultStateBytes;
+  SimTime app_exec_time = calib::kAppProcessing;
+
+  // Low-level knob defaults.
+  SimTime checkpoint_interval = calib::kDefaultCheckpointInterval;
+  std::uint32_t checkpoint_every_requests = 25;
+  gcs::DaemonParams daemon;
+
+  // Monitoring / adaptation (Fig. 6).
+  bool enable_replicated_state = false;
+  std::optional<adaptive::RateThresholdPolicy::Config> adaptation;
+
+  // The application each replica hosts. Default (null): the paper's
+  // micro-benchmark TestServant built from the parameters above. Supply a
+  // factory to replicate any Checkpointable application (see
+  // examples/kv_cluster.cpp).
+  std::function<std::unique_ptr<replication::Checkpointable>(int replica_index)>
+      make_servant;
+};
+
+struct ExperimentResult {
+  double avg_latency_us = 0.0;
+  double jitter_us = 0.0;  // stddev, the error bars of Fig. 4
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;  // the failover "recovery gap" shows up here
+  double bandwidth_mbps = 0.0;
+  double throughput_rps = 0.0;
+  double duration_s = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t retransmissions = 0;
+  int faults_tolerated = 0;
+};
+
+struct OpenLoopResult {
+  ExperimentResult totals;
+  // Series sampled during the run (Fig. 6 axes).
+  sim::TimeSeries observed_rate{"request_rate_rps"};
+  sim::TimeSeries style_series{"replication_style"};  // 0 = passive, 1 = active
+  std::vector<replication::Replicator::SwitchRecord> switches;
+};
+
+class Scenario final : public knobs::ReplicaGroupController {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario() override;
+
+  // --- runs ---------------------------------------------------------------------
+  struct CycleConfig {
+    int requests_per_client = calib::kDefaultCycleRequests;
+    int warmup_requests = 200;
+    SimTime max_duration = sec(600);
+  };
+  ExperimentResult run_closed_loop() { return run_closed_loop(CycleConfig{}); }
+  ExperimentResult run_closed_loop(CycleConfig cycle);
+
+  struct OpenLoopConfig {
+    app::RatePlan plan = app::RatePlan::constant(200);
+    SimTime duration = sec(30);
+    SimTime sample_interval = msec(100);
+    std::size_t request_bytes = calib::kDefaultRequestBytes;
+  };
+  OpenLoopResult run_open_loop(const OpenLoopConfig& config);
+
+  // --- faults -------------------------------------------------------------------
+  // Schedule before calling a run method (armed automatically at run start),
+  // or call arm_faults() yourself when driving the kernel manually.
+  net::FaultPlan& fault_plan() { return fault_plan_; }
+  void arm_faults();
+  [[nodiscard]] ProcessId replica_pid(int index) const;
+  [[nodiscard]] NodeId replica_host(int index) const;
+  [[nodiscard]] ProcessId client_pid(int index) const;
+
+  // --- accessors ----------------------------------------------------------------
+  [[nodiscard]] sim::Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] replication::Replicator& replicator(int index);
+  // The replica's application, generically...
+  [[nodiscard]] replication::Checkpointable& app(int index);
+  // ...and as the default micro-benchmark servant (asserts the scenario was
+  // built without a custom factory).
+  [[nodiscard]] app::TestServant& servant(int index);
+  [[nodiscard]] sim::Process& replica_process(int index);
+  [[nodiscard]] gcs::Daemon& daemon_on(NodeId host);
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] orb::ObjectRef object_ref() const;
+  [[nodiscard]] int live_replicas() const;
+
+  // --- knobs::ReplicaGroupController ----------------------------------------------
+  void set_style(replication::ReplicationStyle style) override;
+  [[nodiscard]] replication::ReplicationStyle style() const override;
+  void set_replica_count(int replicas) override;
+  [[nodiscard]] int replica_count() const override;
+  void set_checkpoint_interval(SimTime interval) override;
+  [[nodiscard]] SimTime checkpoint_interval() const override;
+
+  // Lets in-flight work settle after a run stopped at the last client reply
+  // (slower replicas may still have executions queued). Call before
+  // comparing replica states.
+  void drain(SimTime extra = msec(200));
+
+  // Consistency probe used by tests: digests of all live, caught-up replicas.
+  [[nodiscard]] std::vector<std::uint64_t> live_state_digests() const;
+
+ private:
+  struct ReplicaBundle;
+  struct ClientBundle;
+
+  void build();
+  void start_replica(int index, bool join_existing);
+  ReplicaBundle& first_live_replica();
+  const ReplicaBundle& first_live_replica() const;
+
+  ScenarioConfig config_;
+  std::unique_ptr<sim::Kernel> kernel_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::ChannelManager> channels_;
+  std::vector<std::unique_ptr<gcs::Daemon>> daemons_;
+  std::vector<std::unique_ptr<ReplicaBundle>> replicas_;
+  std::vector<std::unique_ptr<ClientBundle>> clients_;
+  net::FaultPlan fault_plan_;
+  bool faults_armed_ = false;
+  std::uint64_t next_pid_ = 100;
+};
+
+}  // namespace vdep::harness

@@ -1,0 +1,69 @@
+#include "interpose/interposer.hpp"
+
+namespace vdep::interpose {
+
+std::string to_string(InterceptMode mode) {
+  switch (mode) {
+    case InterceptMode::kNone: return "no_interceptor";
+    case InterceptMode::kClientOnly: return "client_intercepted";
+    case InterceptMode::kServerOnly: return "server_intercepted";
+    case InterceptMode::kBoth: return "server_and_client_intercepted";
+  }
+  return "?";
+}
+
+InterceptOnlyClientTransport::InterceptOnlyClientTransport(
+    net::Network& network, sim::Process& process,
+    std::unique_ptr<orb::ClientTransport> inner, SimTime cost)
+    : network_(network), process_(process), inner_(std::move(inner)), cost_(cost) {
+  inner_->set_reply_handler([this](Bytes&& reply) {
+    network_.cpu(process_.host())
+        .execute(cost_, process_.guarded([this, r = std::move(reply)]() mutable {
+          deliver_reply(std::move(r));
+        }));
+  });
+}
+
+void InterceptOnlyClientTransport::send_request(const orb::ObjectRef& ref, Bytes giop) {
+  network_.cpu(process_.host())
+      .execute(cost_, process_.guarded([this, ref, g = std::move(giop)]() mutable {
+        inner_->send_request(ref, std::move(g));
+      }));
+}
+
+void InterceptOnlyClientTransport::cancel(std::uint32_t request_id) {
+  inner_->cancel(request_id);
+}
+
+InterceptOnlyServerAcceptor::InterceptOnlyServerAcceptor(net::ChannelManager& channels,
+                                                         NodeId host, std::uint16_t port,
+                                                         orb::ServerOrb& orb, SimTime cost)
+    : channels_(channels), host_(host), port_(port) {
+  channels_.listen(host, port, [this, &orb, cost](net::ChannelPtr channel) {
+    accepted_.push_back(channel);
+    std::weak_ptr<net::Channel> weak = channel;
+    auto& network = channels_.network();
+    auto& process = orb.process();
+    channel->set_receive_handler([&orb, &network, &process, weak, cost,
+                                  host = host_](Bytes&& request) {
+      // Trampoline on the inbound syscall...
+      network.cpu(host).execute(
+          cost, process.guarded([&orb, &network, weak, cost, host,
+                                 req = std::move(request)]() mutable {
+            orb.handle_request(
+                std::move(req), [&network, weak, cost, host](Bytes reply) {
+                  // ...and on the outbound one.
+                  network.cpu(host).execute(cost, [weak, r = std::move(reply)]() mutable {
+                    if (auto ch = weak.lock(); ch && ch->open()) ch->send(std::move(r));
+                  });
+                });
+          }));
+    });
+  });
+}
+
+InterceptOnlyServerAcceptor::~InterceptOnlyServerAcceptor() {
+  channels_.stop_listening(host_, port_);
+}
+
+}  // namespace vdep::interpose

@@ -1,0 +1,67 @@
+// Library interposition (paper Sec. 3.1).
+//
+// In MEAD the replicator is a shared library that intercepts the standard
+// socket calls underneath the ORB; the application keeps "using" TCP while
+// its messages actually flow over group communication. In this repository
+// the redirection itself is the replicated transport pair
+// (replication::ClientCoordinator on the client, Replicator on the server);
+// this module provides the *interception-without-redirection* layers used by
+// Fig. 4's middle bars — system calls intercepted, messages unmodified —
+// which add only the trampoline cost to the plain TCP path.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "orb/orb_core.hpp"
+#include "util/calibration.hpp"
+
+namespace vdep::interpose {
+
+enum class InterceptMode : std::uint8_t {
+  kNone = 0,        // plain TCP (baseline)
+  kClientOnly = 1,  // client's syscalls intercepted
+  kServerOnly = 2,  // server's syscalls intercepted
+  kBoth = 3,        // both sides intercepted
+};
+
+[[nodiscard]] std::string to_string(InterceptMode mode);
+
+// Wraps another client transport, charging the interception trampoline cost
+// on every outgoing request and incoming reply.
+class InterceptOnlyClientTransport final : public orb::ClientTransport {
+ public:
+  InterceptOnlyClientTransport(net::Network& network, sim::Process& process,
+                               std::unique_ptr<orb::ClientTransport> inner,
+                               SimTime cost = calib::kInterceptOnlyTraversal);
+
+  void send_request(const orb::ObjectRef& ref, Bytes giop) override;
+  void cancel(std::uint32_t request_id) override;
+
+ private:
+  net::Network& network_;
+  sim::Process& process_;
+  std::unique_ptr<orb::ClientTransport> inner_;
+  SimTime cost_;
+};
+
+// Accepts TCP connections like orb::DirectServerAcceptor but charges the
+// interception cost around every request and reply.
+class InterceptOnlyServerAcceptor {
+ public:
+  InterceptOnlyServerAcceptor(net::ChannelManager& channels, NodeId host,
+                              std::uint16_t port, orb::ServerOrb& orb,
+                              SimTime cost = calib::kInterceptOnlyTraversal);
+  ~InterceptOnlyServerAcceptor();
+
+  InterceptOnlyServerAcceptor(const InterceptOnlyServerAcceptor&) = delete;
+  InterceptOnlyServerAcceptor& operator=(const InterceptOnlyServerAcceptor&) = delete;
+
+ private:
+  net::ChannelManager& channels_;
+  NodeId host_;
+  std::uint16_t port_;
+  std::vector<net::ChannelPtr> accepted_;
+};
+
+}  // namespace vdep::interpose

@@ -1,0 +1,56 @@
+// The availability knob — one of the "other high-level knobs such as
+// availability, reliability, sustained throughput" the paper's discussion
+// says can be implemented the same way (Sec. 5).
+//
+// Uses a standard steady-state model for a group of k crash-restart
+// replicas, each with MTTF/MTTR, plus a style-dependent failover outage
+// (active/semi-active fail over almost instantly; warm passive replays its
+// log; cold passive additionally pays the launch delay):
+//
+//   per-replica unavailability  rho = MTTR / (MTTF + MTTR)
+//   P(all k down)               rho^k
+//   failover outage fraction    (k / MTTF) * failover_time   [primary styles]
+//
+// The knob inverts the model: given a target availability it picks the
+// cheapest {style, replicas} meeting it, preferring fewer replicas and more
+// resource-frugal styles among ties.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "knobs/design_space.hpp"
+#include "util/time.hpp"
+
+namespace vdep::knobs {
+
+struct AvailabilityModel {
+  SimTime mttf = sec(3600);         // per-replica mean time to failure
+  SimTime mttr = sec(60);           // per-replica repair/restart time
+  SimTime active_failover = msec(1);
+  SimTime semi_active_failover = msec(5);
+  SimTime warm_failover = msec(200);     // log replay
+  SimTime cold_failover = msec(1000);    // launch + install + replay
+};
+
+// Steady-state availability of a configuration under the model.
+[[nodiscard]] double predicted_availability(const Configuration& config,
+                                            const AvailabilityModel& model);
+
+// Style-dependent failover outage used above; exposed for tests.
+[[nodiscard]] SimTime failover_time(replication::ReplicationStyle style,
+                                    const AvailabilityModel& model);
+
+struct AvailabilityChoice {
+  Configuration config;
+  double availability = 0.0;
+};
+
+// Picks the cheapest configuration meeting `target` (e.g. 0.999): fewest
+// replicas first, then the most resource-frugal style. Styles considered are
+// those present in `allowed` (defaults to all four).
+[[nodiscard]] std::optional<AvailabilityChoice> choose_for_availability(
+    double target, const AvailabilityModel& model, int max_replicas = 5,
+    std::vector<replication::ReplicationStyle> allowed = {});
+
+}  // namespace vdep::knobs

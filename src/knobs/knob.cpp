@@ -1,0 +1,30 @@
+#include "knobs/knob.hpp"
+
+namespace vdep::knobs {
+
+void KnobRegistry::register_knob(std::unique_ptr<Knob> knob) {
+  const std::string name = knob->name();
+  auto [it, inserted] = knobs_.emplace(name, std::move(knob));
+  if (!inserted) throw std::invalid_argument("duplicate knob: " + name);
+}
+
+Knob* KnobRegistry::find(const std::string& name) const {
+  auto it = knobs_.find(name);
+  return it == knobs_.end() ? nullptr : it->second.get();
+}
+
+Knob& KnobRegistry::at(const std::string& name) const {
+  Knob* k = find(name);
+  if (k == nullptr) throw std::out_of_range("no such knob: " + name);
+  return *k;
+}
+
+std::vector<const Knob*> KnobRegistry::list(std::optional<KnobLevel> level) const {
+  std::vector<const Knob*> out;
+  for (const auto& [name, knob] : knobs_) {
+    if (!level || knob->level() == *level) out.push_back(knob.get());
+  }
+  return out;
+}
+
+}  // namespace vdep::knobs

@@ -1,0 +1,85 @@
+// The knob abstraction — versatile dependability's central architectural
+// feature (paper Secs. 2-3).
+//
+// Low-level knobs tune internal fault-tolerance mechanisms (replication
+// style, number of replicas, checkpointing frequency — the FT-CORBA
+// "fault-tolerance properties"). High-level knobs express externally-
+// observable properties (scalability, availability, throughput) and encode
+// the empirically-derived mapping onto low-level settings, so operators tune
+// what they can observe without knowing the implementation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vdep::knobs {
+
+enum class KnobLevel : std::uint8_t { kLow = 0, kHigh = 1 };
+
+class Knob {
+ public:
+  Knob(std::string name, KnobLevel level, std::string description)
+      : name_(std::move(name)), level_(level), description_(std::move(description)) {}
+  virtual ~Knob() = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] KnobLevel level() const { return level_; }
+  [[nodiscard]] const std::string& description() const { return description_; }
+
+  // Knob values travel as strings at this interface so heterogeneous knobs
+  // share one registry; typed accessors live on the concrete classes.
+  [[nodiscard]] virtual std::string get() const = 0;
+  virtual void set(const std::string& value) = 0;
+  // The discrete settings this knob accepts, or empty for continuous ranges.
+  [[nodiscard]] virtual std::vector<std::string> choices() const { return {}; }
+
+ private:
+  std::string name_;
+  KnobLevel level_;
+  std::string description_;
+};
+
+// A knob backed by caller-supplied getter/setter closures; the usual way the
+// low-level knobs bind to a live Replicator.
+class FunctionKnob final : public Knob {
+ public:
+  FunctionKnob(std::string name, KnobLevel level, std::string description,
+               std::function<std::string()> getter,
+               std::function<void(const std::string&)> setter,
+               std::vector<std::string> choices = {})
+      : Knob(std::move(name), level, std::move(description)),
+        getter_(std::move(getter)),
+        setter_(std::move(setter)),
+        choices_(std::move(choices)) {}
+
+  [[nodiscard]] std::string get() const override { return getter_(); }
+  void set(const std::string& value) override { setter_(value); }
+  [[nodiscard]] std::vector<std::string> choices() const override { return choices_; }
+
+ private:
+  std::function<std::string()> getter_;
+  std::function<void(const std::string&)> setter_;
+  std::vector<std::string> choices_;
+};
+
+class KnobRegistry {
+ public:
+  // Throws std::invalid_argument on duplicate names.
+  void register_knob(std::unique_ptr<Knob> knob);
+
+  [[nodiscard]] Knob* find(const std::string& name) const;
+  // Throws std::out_of_range if missing.
+  [[nodiscard]] Knob& at(const std::string& name) const;
+  [[nodiscard]] std::vector<const Knob*> list(std::optional<KnobLevel> level = {}) const;
+  [[nodiscard]] std::size_t size() const { return knobs_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Knob>> knobs_;
+};
+
+}  // namespace vdep::knobs

@@ -1,0 +1,57 @@
+#include "knobs/low_level.hpp"
+
+#include <stdexcept>
+
+namespace vdep::knobs {
+
+replication::ReplicationStyle parse_style(const std::string& name) {
+  using replication::ReplicationStyle;
+  if (name == "active") return ReplicationStyle::kActive;
+  if (name == "warm_passive") return ReplicationStyle::kWarmPassive;
+  if (name == "cold_passive") return ReplicationStyle::kColdPassive;
+  if (name == "semi_active") return ReplicationStyle::kSemiActive;
+  if (name == "hybrid") return ReplicationStyle::kHybrid;
+  throw std::invalid_argument("unknown replication style: " + name);
+}
+
+std::unique_ptr<Knob> make_replication_style_knob(ReplicaGroupController& controller) {
+  return std::make_unique<FunctionKnob>(
+      "ReplicationStyle", KnobLevel::kLow,
+      "Replication style of the server group; runtime changes run the Fig. 5 "
+      "switch protocol",
+      [&controller] { return replication::to_string(controller.style()); },
+      [&controller](const std::string& v) { controller.set_style(parse_style(v)); },
+      std::vector<std::string>{"active", "warm_passive", "cold_passive", "semi_active",
+                               "hybrid"});
+}
+
+std::unique_ptr<Knob> make_num_replicas_knob(ReplicaGroupController& controller,
+                                             int min_replicas, int max_replicas) {
+  return std::make_unique<FunctionKnob>(
+      "MinimumNumberReplicas", KnobLevel::kLow,
+      "Number of replicas in the server group; growth triggers join + state "
+      "transfer, shrinkage a graceful leave",
+      [&controller] { return std::to_string(controller.replica_count()); },
+      [&controller, min_replicas, max_replicas](const std::string& v) {
+        const int n = std::stoi(v);
+        if (n < min_replicas || n > max_replicas) {
+          throw std::invalid_argument("replica count out of range: " + v);
+        }
+        controller.set_replica_count(n);
+      });
+}
+
+std::unique_ptr<Knob> make_checkpoint_interval_knob(ReplicaGroupController& controller) {
+  return std::make_unique<FunctionKnob>(
+      "CheckpointInterval", KnobLevel::kLow,
+      "Warm/cold passive checkpointing period, in microseconds",
+      [&controller] {
+        return std::to_string(
+            static_cast<long long>(to_usec(controller.checkpoint_interval())));
+      },
+      [&controller](const std::string& v) {
+        controller.set_checkpoint_interval(usec(std::stoll(v)));
+      });
+}
+
+}  // namespace vdep::knobs

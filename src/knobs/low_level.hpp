@@ -1,0 +1,49 @@
+// The low-level knobs (paper Table 1): replication style, number of
+// replicas, checkpointing frequency, fault-monitoring interval — bound to a
+// live replica group. Names follow the FT-CORBA fault-tolerance properties
+// the paper critiques for lacking operator guidance; versatile dependability
+// keeps them available but expects operators to use the high-level knobs.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "knobs/knob.hpp"
+#include "replication/types.hpp"
+
+namespace vdep::knobs {
+
+// Group-level actuation the harness (or a deployment manager) provides:
+// growing/shrinking the replica set is an infrastructure operation, not
+// something one replicator instance can do alone.
+class ReplicaGroupController {
+ public:
+  virtual ~ReplicaGroupController() = default;
+
+  virtual void set_style(replication::ReplicationStyle style) = 0;
+  [[nodiscard]] virtual replication::ReplicationStyle style() const = 0;
+
+  virtual void set_replica_count(int replicas) = 0;
+  [[nodiscard]] virtual int replica_count() const = 0;
+
+  virtual void set_checkpoint_interval(SimTime interval) = 0;
+  [[nodiscard]] virtual SimTime checkpoint_interval() const = 0;
+};
+
+// "ReplicationStyle" — switches at runtime through the Fig. 5 protocol.
+[[nodiscard]] std::unique_ptr<Knob> make_replication_style_knob(
+    ReplicaGroupController& controller);
+
+// "MinimumNumberReplicas" — grows via join + state transfer, shrinks via
+// leave.
+[[nodiscard]] std::unique_ptr<Knob> make_num_replicas_knob(
+    ReplicaGroupController& controller, int min_replicas = 1, int max_replicas = 8);
+
+// "CheckpointInterval" — the checkpointing-frequency knob, microseconds.
+[[nodiscard]] std::unique_ptr<Knob> make_checkpoint_interval_knob(
+    ReplicaGroupController& controller);
+
+// Parses the strings the style knob accepts ("active", "warm_passive", ...).
+[[nodiscard]] replication::ReplicationStyle parse_style(const std::string& name);
+
+}  // namespace vdep::knobs

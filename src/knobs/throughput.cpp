@@ -1,0 +1,24 @@
+#include "knobs/throughput.hpp"
+
+namespace vdep::knobs {
+
+std::optional<ThroughputChoice> choose_for_throughput(const DesignSpaceMap& map,
+                                                      double target_rps,
+                                                      double max_bandwidth_mbps) {
+  std::optional<ThroughputChoice> best;
+  for (const auto& p : map.points()) {
+    if (p.throughput_rps < target_rps) continue;
+    if (p.bandwidth_mbps > max_bandwidth_mbps) continue;
+    const bool better =
+        !best || p.faults_tolerated > best->faults_tolerated ||
+        (p.faults_tolerated == best->faults_tolerated &&
+         p.bandwidth_mbps < best->bandwidth_mbps);
+    if (better) {
+      best = ThroughputChoice{p.config, p.clients, p.throughput_rps, p.bandwidth_mbps,
+                              p.faults_tolerated};
+    }
+  }
+  return best;
+}
+
+}  // namespace vdep::knobs

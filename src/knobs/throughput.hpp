@@ -1,0 +1,29 @@
+// The sustained-throughput knob (another Sec. 5 high-level knob).
+//
+// From the profiled design space, each configuration's sustainable
+// throughput at a client count is the measured completion rate; the knob
+// picks, for a target request rate, the configuration that sustains it with
+// the best fault tolerance and the least bandwidth.
+#pragma once
+
+#include <optional>
+
+#include "knobs/design_space.hpp"
+
+namespace vdep::knobs {
+
+struct ThroughputChoice {
+  Configuration config;
+  int clients = 0;  // closed-loop clients needed to drive that rate
+  double throughput_rps = 0.0;
+  double bandwidth_mbps = 0.0;
+  int faults_tolerated = 0;
+};
+
+// Picks the configuration (and the client parallelism) sustaining at least
+// `target_rps` within `max_bandwidth_mbps`, maximizing faults tolerated and
+// then minimizing bandwidth. nullopt when nothing sustains the rate.
+[[nodiscard]] std::optional<ThroughputChoice> choose_for_throughput(
+    const DesignSpaceMap& map, double target_rps, double max_bandwidth_mbps);
+
+}  // namespace vdep::knobs

@@ -1,0 +1,74 @@
+#include "knobs/versatile.hpp"
+
+namespace vdep::knobs {
+
+VersatileDependability::VersatileDependability(ReplicaGroupController& controller)
+    : controller_(controller) {
+  registry_.register_knob(make_replication_style_knob(controller_));
+  registry_.register_knob(make_num_replicas_knob(controller_));
+  registry_.register_knob(make_checkpoint_interval_knob(controller_));
+}
+
+const ScalabilityPolicy& VersatileDependability::install_scalability_knob(
+    const DesignSpaceMap& map, const ScalabilityRequirements& requirements) {
+  scalability_policy_ = synthesize_scalability_policy(map, requirements);
+  if (registry_.find("Scalability") == nullptr) {
+    registry_.register_knob(std::make_unique<FunctionKnob>(
+        "Scalability", KnobLevel::kHigh,
+        "Number of clients to serve; applies the profiled {style, replicas} "
+        "policy under the latency/bandwidth/fault-tolerance requirements",
+        [this] {
+          // Current applied client count, or empty.
+          return applied_clients_ ? std::to_string(*applied_clients_) : std::string();
+        },
+        [this](const std::string& v) { tune_for_clients(std::stoi(v)); }));
+  }
+  return *scalability_policy_;
+}
+
+std::optional<PolicyEntry> VersatileDependability::tune_for_clients(int clients) {
+  if (!scalability_policy_) return std::nullopt;
+  auto entry = scalability_policy_->for_clients(clients);
+  if (!entry) return std::nullopt;
+  controller_.set_replica_count(entry->config.replicas);
+  controller_.set_style(entry->config.style);
+  applied_clients_ = clients;
+  return entry;
+}
+
+void VersatileDependability::install_availability_knob(AvailabilityModel model) {
+  availability_model_ = model;
+  if (registry_.find("Availability") == nullptr) {
+    registry_.register_knob(std::make_unique<FunctionKnob>(
+        "Availability", KnobLevel::kHigh,
+        "Target steady-state availability (e.g. 0.999); picks {style, replicas} "
+        "under the MTTF/MTTR model",
+        [this] {
+          const Configuration config{controller_.style(), controller_.replica_count()};
+          return availability_model_
+                     ? std::to_string(predicted_availability(config, *availability_model_))
+                     : std::string();
+        },
+        [this](const std::string& v) { tune_for_availability(std::stod(v)); }));
+  }
+}
+
+std::optional<AvailabilityChoice> VersatileDependability::tune_for_availability(
+    double target) {
+  if (!availability_model_) return std::nullopt;
+  auto choice = choose_for_availability(target, *availability_model_);
+  if (!choice) return std::nullopt;
+  controller_.set_replica_count(choice->config.replicas);
+  controller_.set_style(choice->config.style);
+  return choice;
+}
+
+void VersatileDependability::set_contract(
+    adaptive::Contract contract, std::vector<adaptive::Contract> degraded_alternatives) {
+  contract_monitor_ = std::make_unique<adaptive::ContractMonitor>(std::move(contract));
+  for (auto& alt : degraded_alternatives) {
+    contract_monitor_->add_degraded_alternative(std::move(alt));
+  }
+}
+
+}  // namespace vdep::knobs

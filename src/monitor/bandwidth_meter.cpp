@@ -1,0 +1,41 @@
+#include "monitor/bandwidth_meter.hpp"
+
+namespace vdep::monitor {
+
+BandwidthMeter::BandwidthMeter(sim::Kernel& kernel, const net::Network& network,
+                               SimTime interval)
+    : kernel_(kernel), network_(network), interval_(interval) {}
+
+void BandwidthMeter::start() {
+  if (running_) return;
+  running_ = true;
+  start_bytes_ = last_bytes_ = network_.totals().bytes;
+  start_time_ = kernel_.now();
+  tick();
+}
+
+void BandwidthMeter::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void BandwidthMeter::tick() {
+  if (!running_) return;
+  timer_ = kernel_.post(interval_, [this] {
+    const std::uint64_t bytes = network_.totals().bytes;
+    current_rate_ =
+        static_cast<double>(bytes - last_bytes_) / 1e6 / to_sec(interval_);
+    last_bytes_ = bytes;
+    series_.record(kernel_.now(), current_rate_);
+    tick();
+  });
+}
+
+double BandwidthMeter::average_rate() const {
+  const SimTime elapsed = kernel_.now() - start_time_;
+  if (elapsed <= kTimeZero) return 0.0;
+  return static_cast<double>(network_.totals().bytes - start_bytes_) / 1e6 /
+         to_sec(elapsed);
+}
+
+}  // namespace vdep::monitor

@@ -1,0 +1,40 @@
+// Periodic sampling of the network byte counters into a rate time-series —
+// the resource axis of the dependability design space (Fig. 7(b), Fig. 8).
+#pragma once
+
+#include "net/network.hpp"
+#include "sim/trace.hpp"
+
+namespace vdep::monitor {
+
+class BandwidthMeter {
+ public:
+  // Samples network totals every `interval` once start() is called.
+  BandwidthMeter(sim::Kernel& kernel, const net::Network& network,
+                 SimTime interval = msec(100));
+
+  void start();
+  void stop();
+
+  // MB/s over the last completed interval.
+  [[nodiscard]] double current_rate() const { return current_rate_; }
+  // Average MB/s since start().
+  [[nodiscard]] double average_rate() const;
+  [[nodiscard]] const sim::TimeSeries& series() const { return series_; }
+
+ private:
+  void tick();
+
+  sim::Kernel& kernel_;
+  const net::Network& network_;
+  SimTime interval_;
+  sim::EventHandle timer_;
+  std::uint64_t last_bytes_ = 0;
+  std::uint64_t start_bytes_ = 0;
+  SimTime start_time_ = kTimeZero;
+  double current_rate_ = 0.0;
+  bool running_ = false;
+  sim::TimeSeries series_{"bandwidth_mbps"};
+};
+
+}  // namespace vdep::monitor

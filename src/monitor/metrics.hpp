@@ -1,0 +1,46 @@
+// Named metric registry — the "monitoring various system metrics (e.g.,
+// latency, jitter, CPU load)" element of the versatile-dependability
+// framework (paper Sec. 2, item 1).
+//
+// Components publish counters and distributions under stable names; the
+// adaptation layer and the experiment harness read them without knowing the
+// producers. Everything is simulation-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace vdep::monitor {
+
+class MetricsRegistry {
+ public:
+  // Monotone counters.
+  void add(const std::string& name, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+  // Last-value gauges.
+  void set_gauge(const std::string& name, double value);
+  [[nodiscard]] std::optional<double> gauge(const std::string& name) const;
+
+  // Sample distributions (latency etc.).
+  void observe(const std::string& name, double value);
+  [[nodiscard]] const RunningStats* distribution(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const { return gauges_; }
+
+  void reset();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, RunningStats> distributions_;
+};
+
+}  // namespace vdep::monitor

@@ -1,0 +1,107 @@
+#include "net/fault_plan.hpp"
+
+#include "util/assert.hpp"
+
+namespace vdep::net {
+
+namespace {
+
+sim::Process* find_process(const std::vector<sim::Process*>& processes, ProcessId pid) {
+  for (auto* p : processes) {
+    if (p->id() == pid) return p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void FaultPlan::crash_process(SimTime at, ProcessId pid) {
+  actions_.push_back({at, [pid](sim::Kernel&, Network&,
+                                const std::vector<sim::Process*>& procs) {
+                        if (auto* p = find_process(procs, pid)) p->crash();
+                      }});
+}
+
+void FaultPlan::restart_process(SimTime at, ProcessId pid) {
+  actions_.push_back({at, [pid](sim::Kernel&, Network&,
+                                const std::vector<sim::Process*>& procs) {
+                        if (auto* p = find_process(procs, pid)) p->restart();
+                      }});
+}
+
+void FaultPlan::crash_node(SimTime at, NodeId node) {
+  actions_.push_back({at, [node](sim::Kernel&, Network& net,
+                                 const std::vector<sim::Process*>& procs) {
+                        net.set_host_up(node, false);
+                        for (auto* p : procs) {
+                          if (p->host() == node) p->crash();
+                        }
+                      }});
+}
+
+void FaultPlan::restore_node(SimTime at, NodeId node) {
+  actions_.push_back({at, [node](sim::Kernel&, Network& net,
+                                 const std::vector<sim::Process*>&) {
+                        net.set_host_up(node, true);
+                      }});
+}
+
+void FaultPlan::loss_burst(SimTime from, SimTime to, NodeId a, NodeId b,
+                           double probability) {
+  VDEP_ASSERT(from <= to);
+  actions_.push_back({from, [a, b, probability](sim::Kernel&, Network& net,
+                                                const std::vector<sim::Process*>&) {
+                        for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+                          LinkParams p = net.link_params(x, y);
+                          p.loss_probability = probability;
+                          net.set_link_params(x, y, p);
+                        }
+                      }});
+  actions_.push_back({to, [a, b](sim::Kernel&, Network& net,
+                                 const std::vector<sim::Process*>&) {
+                        for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+                          LinkParams p = net.link_params(x, y);
+                          p.loss_probability = 0.0;
+                          net.set_link_params(x, y, p);
+                        }
+                      }});
+}
+
+void FaultPlan::partition_window(SimTime from, SimTime to, std::set<NodeId> side_a,
+                                 std::set<NodeId> side_b) {
+  VDEP_ASSERT(from <= to);
+  actions_.push_back(
+      {from, [side_a, side_b](sim::Kernel&, Network& net,
+                              const std::vector<sim::Process*>&) {
+         net.partition(side_a, side_b);
+       }});
+  // Healing clears all partitions; overlapping partition windows are not
+  // supported (asserted by keeping semantics simple and documented).
+  actions_.push_back({to, [](sim::Kernel&, Network& net,
+                             const std::vector<sim::Process*>&) {
+                        net.heal_partitions();
+                      }});
+}
+
+void FaultPlan::slow_host(SimTime from, SimTime to, NodeId node, double factor) {
+  VDEP_ASSERT(from <= to && factor > 0.0);
+  actions_.push_back({from, [node, factor](sim::Kernel&, Network& net,
+                                            const std::vector<sim::Process*>&) {
+                        net.cpu(node).set_slowdown(factor);
+                      }});
+  actions_.push_back({to, [node](sim::Kernel&, Network& net,
+                                 const std::vector<sim::Process*>&) {
+                        net.cpu(node).set_slowdown(1.0);
+                      }});
+}
+
+void FaultPlan::arm(sim::Kernel& kernel, Network& network,
+                    std::vector<sim::Process*> processes) const {
+  for (const auto& timed : actions_) {
+    kernel.post_at(timed.at, [&kernel, &network, processes, action = timed.action] {
+      action(kernel, network, processes);
+    });
+  }
+}
+
+}  // namespace vdep::net

@@ -1,0 +1,54 @@
+// Declarative fault schedules for experiments and tests.
+//
+// The paper's fault model (Sec. 3.1): hardware and software crash faults,
+// transient communication faults, performance and timing faults. A FaultPlan
+// scripts those against a scenario: crash/restart a process, crash a node
+// (host down + all its processes), message-loss bursts, partition windows,
+// and performance faults (a host's CPU suddenly slowed by inflating work).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/actor.hpp"
+
+namespace vdep::net {
+
+class FaultPlan {
+ public:
+  void crash_process(SimTime at, ProcessId pid);
+  void restart_process(SimTime at, ProcessId pid);
+  void crash_node(SimTime at, NodeId node);
+  void restore_node(SimTime at, NodeId node);
+  // Transient communication fault: both directions of (a, b) drop packets
+  // with `probability` during [from, to).
+  void loss_burst(SimTime from, SimTime to, NodeId a, NodeId b, double probability);
+  // Network partition separating the two sides during [from, to).
+  void partition_window(SimTime from, SimTime to, std::set<NodeId> side_a,
+                        std::set<NodeId> side_b);
+  // Performance/timing fault: the host's CPU runs `factor`x slower during
+  // [from, to).
+  void slow_host(SimTime from, SimTime to, NodeId node, double factor);
+
+  // Installs all scheduled faults on the kernel. `processes` is the registry
+  // of every crashable process in the scenario (used to resolve pids and to
+  // find a node's resident processes).
+  void arm(sim::Kernel& kernel, Network& network,
+           std::vector<sim::Process*> processes) const;
+
+  [[nodiscard]] bool empty() const { return actions_.empty(); }
+
+ private:
+  using Action = std::function<void(sim::Kernel&, Network&,
+                                    const std::vector<sim::Process*>&)>;
+  struct Timed {
+    SimTime at;
+    Action action;
+  };
+
+  std::vector<Timed> actions_;
+};
+
+}  // namespace vdep::net

@@ -1,0 +1,15 @@
+#include "net/link.hpp"
+
+namespace vdep::net {
+
+std::size_t fragment_count(std::size_t payload_bytes, std::size_t mtu) {
+  if (payload_bytes == 0) return 1;
+  return (payload_bytes + mtu - 1) / mtu;
+}
+
+std::size_t wire_bytes(std::size_t payload_bytes, std::size_t header_bytes,
+                       std::size_t mtu) {
+  return payload_bytes + fragment_count(payload_bytes, mtu) * header_bytes;
+}
+
+}  // namespace vdep::net

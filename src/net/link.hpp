@@ -1,0 +1,22 @@
+// Wire-level helpers: fragmentation arithmetic shared by the group
+// communication daemons (which pay a per-packet CPU cost) and the bandwidth
+// accounting.
+#pragma once
+
+#include <cstddef>
+
+#include "util/calibration.hpp"
+
+namespace vdep::net {
+
+// Number of MTU-sized fragments needed for a payload. Zero-byte payloads
+// still occupy one packet (headers travel).
+[[nodiscard]] std::size_t fragment_count(std::size_t payload_bytes,
+                                         std::size_t mtu = calib::kMtuBytes);
+
+// Total bytes on the wire for a payload carried in `fragments` packets each
+// adding `header_bytes` of framing.
+[[nodiscard]] std::size_t wire_bytes(std::size_t payload_bytes, std::size_t header_bytes,
+                                     std::size_t mtu = calib::kMtuBytes);
+
+}  // namespace vdep::net

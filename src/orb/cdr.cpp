@@ -1,0 +1,118 @@
+#include "orb/cdr.hpp"
+
+#include <cstring>
+
+namespace vdep::orb {
+
+// --- writer ------------------------------------------------------------------
+
+void CdrWriter::align(std::size_t n) {
+  while (buf_.size() % n != 0) buf_.push_back(0);
+}
+
+template <typename T>
+void CdrWriter::raw(T v, std::size_t alignment) {
+  align(alignment);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void CdrWriter::octet(std::uint8_t v) { buf_.push_back(v); }
+void CdrWriter::boolean(bool v) { buf_.push_back(v ? 1 : 0); }
+void CdrWriter::ushort(std::uint16_t v) { raw(v, 2); }
+void CdrWriter::ulong(std::uint32_t v) { raw(v, 4); }
+void CdrWriter::ulonglong(std::uint64_t v) { raw(v, 8); }
+void CdrWriter::longlong(std::int64_t v) { raw(static_cast<std::uint64_t>(v), 8); }
+
+void CdrWriter::cdr_double(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  raw(bits, 8);
+}
+
+void CdrWriter::string(const std::string& v) {
+  ulong(static_cast<std::uint32_t>(v.size() + 1));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+  buf_.push_back(0);
+}
+
+void CdrWriter::octets(const Bytes& v) {
+  ulong(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+// --- reader ------------------------------------------------------------------
+
+void CdrReader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) throw DecodeError("CDR underrun");
+}
+
+void CdrReader::align(std::size_t n) {
+  while (pos_ % n != 0) {
+    need(1);
+    ++pos_;
+  }
+}
+
+template <typename T>
+T CdrReader::raw(std::size_t alignment) {
+  align(alignment);
+  need(sizeof(T));
+  T v = 0;
+  if (little_) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+  } else {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>((v << 8) | data_[pos_ + i]);
+    }
+  }
+  pos_ += sizeof(T);
+  return v;
+}
+
+std::uint8_t CdrReader::octet() {
+  need(1);
+  return data_[pos_++];
+}
+
+bool CdrReader::boolean() {
+  const auto v = octet();
+  if (v > 1) throw DecodeError("CDR boolean out of range");
+  return v == 1;
+}
+
+std::uint16_t CdrReader::ushort() { return raw<std::uint16_t>(2); }
+std::uint32_t CdrReader::ulong() { return raw<std::uint32_t>(4); }
+std::uint64_t CdrReader::ulonglong() { return raw<std::uint64_t>(8); }
+std::int64_t CdrReader::longlong() { return static_cast<std::int64_t>(raw<std::uint64_t>(8)); }
+
+double CdrReader::cdr_double() {
+  const std::uint64_t bits = raw<std::uint64_t>(8);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string CdrReader::string() {
+  const std::uint32_t len = ulong();
+  if (len == 0) throw DecodeError("CDR string must include its NUL");
+  need(len);
+  if (data_[pos_ + len - 1] != 0) throw DecodeError("CDR string missing NUL");
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len - 1);
+  pos_ += len;
+  return out;
+}
+
+Bytes CdrReader::octets() {
+  const std::uint32_t len = ulong();
+  need(len);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+}  // namespace vdep::orb

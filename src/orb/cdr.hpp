@@ -1,0 +1,77 @@
+// CDR (Common Data Representation) marshaling, CORBA-style.
+//
+// Application payloads and GIOP headers travel in CDR: primitive types are
+// aligned to their natural boundary relative to the start of the stream, and
+// a byte-order flag lets a reader decode either endianness (we emit
+// little-endian, as an x86 TAO would). This is the encoding the replicator
+// intercepts and re-writes when it injects FT service contexts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace vdep::orb {
+
+class CdrWriter {
+ public:
+  CdrWriter() = default;
+  explicit CdrWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void octet(std::uint8_t v);
+  void boolean(bool v);
+  void ushort(std::uint16_t v);   // aligned 2
+  void ulong(std::uint32_t v);    // aligned 4
+  void ulonglong(std::uint64_t v);  // aligned 8
+  void longlong(std::int64_t v);
+  void cdr_double(double v);      // aligned 8
+  // CORBA string: ulong length including NUL, bytes, NUL.
+  void string(const std::string& v);
+  // sequence<octet>: ulong length + bytes.
+  void octets(const Bytes& v);
+
+  void align(std::size_t n);
+
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void raw(T v, std::size_t alignment);
+
+  Bytes buf_;
+};
+
+class CdrReader {
+ public:
+  // `little_endian` is the stream's byte-order flag (from the GIOP header).
+  explicit CdrReader(const Bytes& data, bool little_endian = true)
+      : data_(data), little_(little_endian) {}
+
+  [[nodiscard]] std::uint8_t octet();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] std::uint16_t ushort();
+  [[nodiscard]] std::uint32_t ulong();
+  [[nodiscard]] std::uint64_t ulonglong();
+  [[nodiscard]] std::int64_t longlong();
+  [[nodiscard]] double cdr_double();
+  [[nodiscard]] std::string string();
+  [[nodiscard]] Bytes octets();
+
+  void align(std::size_t n);
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T raw(std::size_t alignment);
+  void need(std::size_t n) const;
+
+  const Bytes& data_;
+  bool little_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vdep::orb

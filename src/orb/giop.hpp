@@ -1,0 +1,101 @@
+// GIOP-style inter-ORB messages.
+//
+// A faithful-in-shape subset of GIOP 1.2: magic "GIOP", version, byte-order
+// flag, message type, and Request/Reply bodies with request ids, object
+// keys, operation names and service contexts. The replicator understands and
+// rewrites these messages — in particular it injects the FT_REQUEST service
+// context (client identity + retention id) that makes requests idempotent
+// across failover, exactly as FT-CORBA prescribes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orb/cdr.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace vdep::orb {
+
+enum class GiopMsgType : std::uint8_t {
+  kRequest = 0,
+  kReply = 1,
+  kCancelRequest = 2,
+  kCloseConnection = 5,
+  kMessageError = 6,
+};
+
+enum class ReplyStatus : std::uint32_t {
+  kNoException = 0,
+  kUserException = 1,
+  kSystemException = 2,
+  kLocationForward = 3,
+};
+
+struct ServiceContext {
+  std::uint32_t context_id = 0;
+  Bytes data;
+
+  friend bool operator==(const ServiceContext&, const ServiceContext&) = default;
+};
+
+// Service-context ids (FT-CORBA uses 0x464f_0000 "FT\0\0" ranges; we keep
+// recognizable tags).
+inline constexpr std::uint32_t kFtRequestContextId = 0x46540001;   // "FT"+1
+inline constexpr std::uint32_t kFtGroupVersionContextId = 0x46540002;
+
+// FT_REQUEST service context payload: identifies the logical request across
+// retransmissions so server replicas can suppress duplicates.
+struct FtRequestContext {
+  ProcessId client;
+  std::uint64_t retention_id = 0;  // == client ORB request id
+  NodeId client_daemon;            // where replies should be unicast
+  SimTime expiration = kTimeZero;  // paper/FT-CORBA: request expiration time
+
+  [[nodiscard]] ServiceContext to_context() const;
+  static std::optional<FtRequestContext> from_contexts(
+      const std::vector<ServiceContext>& contexts);
+};
+
+struct RequestMessage {
+  std::uint32_t request_id = 0;
+  bool response_expected = true;
+  ObjectId object_key;
+  std::string operation;
+  std::vector<ServiceContext> service_contexts;
+  Bytes body;  // CDR-encoded in-args
+
+  [[nodiscard]] Bytes encode() const;
+};
+
+struct ReplyMessage {
+  std::uint32_t request_id = 0;
+  ReplyStatus status = ReplyStatus::kNoException;
+  std::vector<ServiceContext> service_contexts;
+  Bytes body;  // CDR-encoded result / exception
+
+  [[nodiscard]] Bytes encode() const;
+};
+
+struct CancelRequestMessage {
+  std::uint32_t request_id = 0;
+
+  [[nodiscard]] Bytes encode() const;
+};
+
+// Decoded GIOP message (tagged).
+struct GiopMessage {
+  GiopMsgType type = GiopMsgType::kMessageError;
+  std::optional<RequestMessage> request;       // kRequest
+  std::optional<ReplyMessage> reply;           // kReply
+  std::optional<CancelRequestMessage> cancel;  // kCancelRequest
+};
+
+[[nodiscard]] GiopMessage decode_giop(const Bytes& raw);
+
+// Convenience peeks that avoid a full decode on hot paths.
+[[nodiscard]] GiopMsgType peek_giop_type(const Bytes& raw);
+
+}  // namespace vdep::orb

@@ -1,0 +1,141 @@
+#include "orb/orb_core.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace vdep::orb {
+
+// --- ClientOrb -----------------------------------------------------------------
+
+ClientOrb::ClientOrb(net::Network& network, sim::Process& process,
+                     SimTime traversal_cost)
+    : network_(network), process_(process), traversal_cost_(traversal_cost) {}
+
+void ClientOrb::use_transport(std::unique_ptr<ClientTransport> transport) {
+  transport_ = std::move(transport);
+  const std::uint64_t incarnation = process_.incarnation();
+  transport_->set_reply_handler([this, incarnation](Bytes&& giop) {
+    if (!process_.alive() || process_.incarnation() != incarnation) return;
+    on_reply_bytes(std::move(giop));
+  });
+}
+
+std::uint32_t ClientOrb::invoke(const ObjectRef& ref, const std::string& operation,
+                                Bytes args, ResponseCb cb) {
+  VDEP_ASSERT_MSG(transport_ != nullptr, "no transport configured");
+  RequestMessage req;
+  req.request_id = next_request_id_++;
+  req.object_key = ref.object_key;
+  req.operation = operation;
+  req.body = std::move(args);
+  pending_[req.request_id] = std::move(cb);
+
+  network_.cpu(process_.host())
+      .execute(traversal_cost_,
+               process_.guarded([this, ref, giop = req.encode()]() mutable {
+                 transport_->send_request(ref, std::move(giop));
+               }));
+  return req.request_id;
+}
+
+void ClientOrb::cancel(std::uint32_t request_id) {
+  pending_.erase(request_id);
+  if (transport_) transport_->cancel(request_id);
+}
+
+void ClientOrb::on_reply_bytes(Bytes&& giop) {
+  network_.cpu(process_.host())
+      .execute(traversal_cost_, process_.guarded([this, raw = std::move(giop)] {
+        GiopMessage msg = decode_giop(raw);
+        if (msg.type != GiopMsgType::kReply || !msg.reply) {
+          log_warn(process_.now(), "orb", "client got non-reply GIOP message");
+          return;
+        }
+        auto it = pending_.find(msg.reply->request_id);
+        if (it == pending_.end()) return;  // late/duplicate reply
+        ResponseCb cb = std::move(it->second);
+        pending_.erase(it);
+        cb(msg.reply->status, std::move(msg.reply->body));
+      }));
+}
+
+// --- ServerOrb -----------------------------------------------------------------
+
+ServerOrb::ServerOrb(net::Network& network, sim::Process& process, Poa& poa,
+                     SimTime traversal_cost)
+    : network_(network), process_(process), poa_(poa), traversal_cost_(traversal_cost) {}
+
+void ServerOrb::handle_request(Bytes giop_request, ReplySender send_reply) {
+  network_.cpu(process_.host())
+      .execute(
+          traversal_cost_,
+          process_.guarded([this, raw = std::move(giop_request),
+                            send_reply = std::move(send_reply)]() mutable {
+            GiopMessage msg = decode_giop(raw);
+            if (msg.type != GiopMsgType::kRequest || !msg.request) {
+              log_warn(process_.now(), "orb", "server got non-request GIOP message");
+              return;
+            }
+            RequestMessage& req = *msg.request;
+
+            ReplyMessage rep;
+            rep.request_id = req.request_id;
+            SimTime exec_time = kTimeZero;
+
+            Servant* servant = poa_.find(req.object_key);
+            if (servant == nullptr) {
+              rep.status = ReplyStatus::kSystemException;
+            } else {
+              Servant::Result result = servant->invoke(req.operation, req.body);
+              exec_time = result.cpu_time;
+              rep.status =
+                  result.ok ? ReplyStatus::kNoException : ReplyStatus::kUserException;
+              rep.body = std::move(result.output);
+            }
+            ++served_;
+
+            if (!req.response_expected) return;
+            network_.cpu(process_.host())
+                .execute(exec_time + traversal_cost_,
+                         process_.guarded([rep = std::move(rep),
+                                           send_reply = std::move(send_reply)] {
+                           send_reply(rep.encode());
+                         }));
+          }));
+}
+
+// --- direct TCP transports --------------------------------------------------------
+
+DirectClientTransport::DirectClientTransport(net::ChannelManager& channels,
+                                             NodeId local_host)
+    : channels_(channels), local_(local_host) {}
+
+void DirectClientTransport::send_request(const ObjectRef& ref, Bytes giop) {
+  VDEP_ASSERT_MSG(ref.direct.has_value(), "direct transport needs a direct profile");
+  const auto key = std::make_pair(ref.direct->host, ref.direct->port);
+  auto it = connections_.find(key);
+  if (it == connections_.end()) {
+    auto channel = channels_.connect(local_, ref.direct->host, ref.direct->port);
+    channel->set_receive_handler([this](Bytes&& reply) { deliver_reply(std::move(reply)); });
+    it = connections_.emplace(key, std::move(channel)).first;
+  }
+  it->second->send(std::move(giop));
+}
+
+DirectServerAcceptor::DirectServerAcceptor(net::ChannelManager& channels, NodeId host,
+                                           std::uint16_t port, ServerOrb& orb)
+    : channels_(channels), host_(host), port_(port) {
+  channels_.listen(host, port, [this, &orb](net::ChannelPtr channel) {
+    accepted_.push_back(channel);
+    std::weak_ptr<net::Channel> weak = channel;
+    channel->set_receive_handler([&orb, weak](Bytes&& request) {
+      orb.handle_request(std::move(request), [weak](Bytes reply) {
+        if (auto ch = weak.lock(); ch && ch->open()) ch->send(std::move(reply));
+      });
+    });
+  });
+}
+
+DirectServerAcceptor::~DirectServerAcceptor() { channels_.stop_listening(host_, port_); }
+
+}  // namespace vdep::orb

@@ -1,0 +1,19 @@
+#include "orb/poa.hpp"
+
+#include "util/assert.hpp"
+
+namespace vdep::orb {
+
+void Poa::activate(ObjectId key, Servant& servant) {
+  VDEP_ASSERT_MSG(!servants_.contains(key), "object key already active");
+  servants_[key] = &servant;
+}
+
+void Poa::deactivate(ObjectId key) { servants_.erase(key); }
+
+Servant* Poa::find(ObjectId key) const {
+  auto it = servants_.find(key);
+  return it == servants_.end() ? nullptr : it->second;
+}
+
+}  // namespace vdep::orb

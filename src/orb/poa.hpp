@@ -1,0 +1,47 @@
+// Servants and the (portable-)object-adapter.
+//
+// A Servant implements operations for one CORBA-style object; the Poa maps
+// object keys to servants within a server process. Invocation results carry
+// the CPU time the operation consumes, which the server ORB schedules on the
+// host CPU — this is how "application processing time" (15 us in the paper's
+// micro-benchmark, much larger for real applications) enters the model.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace vdep::orb {
+
+class Servant {
+ public:
+  virtual ~Servant() = default;
+
+  struct Result {
+    bool ok = true;      // false -> SYSTEM_EXCEPTION reply
+    Bytes output;        // CDR-encoded out-args
+    SimTime cpu_time = kTimeZero;  // simulated execution cost
+  };
+
+  // Must be deterministic: replicas execute the same operations in the same
+  // order and their outputs are compared by voting clients.
+  virtual Result invoke(const std::string& operation, const Bytes& args) = 0;
+};
+
+class Poa {
+ public:
+  // Servants are owned by the application; the POA only routes.
+  void activate(ObjectId key, Servant& servant);
+  void deactivate(ObjectId key);
+
+  [[nodiscard]] Servant* find(ObjectId key) const;
+  [[nodiscard]] std::size_t active_count() const { return servants_.size(); }
+
+ private:
+  std::map<ObjectId, Servant*> servants_;
+};
+
+}  // namespace vdep::orb

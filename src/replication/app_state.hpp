@@ -1,0 +1,30 @@
+// The contract an application must satisfy to be replicated.
+//
+// The paper replicates at the process level: the whole process state is
+// captured/restored as a unit. Checkpointable extends the ORB Servant with
+// snapshot/restore, and requires deterministic execution — the property that
+// lets active replicas stay identical and lets backups reconstruct state by
+// replaying logged requests.
+#pragma once
+
+#include "orb/poa.hpp"
+
+namespace vdep::replication {
+
+class Checkpointable : public orb::Servant {
+ public:
+  // Full process-state snapshot (CDR/flat bytes; opaque to the replicator).
+  [[nodiscard]] virtual Bytes snapshot() const = 0;
+  virtual void restore(const Bytes& snapshot) = 0;
+
+  // Size used to model serialization cost and checkpoint bandwidth; usually
+  // snapshot().size() but may be larger for apps with elaborate in-memory
+  // state that compresses on marshalling.
+  [[nodiscard]] virtual std::size_t state_size() const = 0;
+
+  // Deterministic digest of the current state, used by consistency checks in
+  // tests and by voting clients comparing replica outputs.
+  [[nodiscard]] virtual std::uint64_t state_digest() const = 0;
+};
+
+}  // namespace vdep::replication

@@ -1,0 +1,34 @@
+#include "replication/checkpoint.hpp"
+
+#include "util/assert.hpp"
+
+namespace vdep::replication {
+
+SimTime snapshot_cpu_time(std::size_t bytes, double bytes_per_sec) {
+  VDEP_ASSERT(bytes_per_sec > 0);
+  return sec_f(static_cast<double>(bytes) / bytes_per_sec);
+}
+
+void QuiescenceTracker::end_execution() {
+  VDEP_ASSERT(outstanding_ > 0);
+  --outstanding_;
+  if (outstanding_ == 0) fire_waiters();
+}
+
+void QuiescenceTracker::when_quiescent(std::function<void()> fn) {
+  if (outstanding_ == 0) {
+    fn();
+    return;
+  }
+  waiters_.push_back(std::move(fn));
+}
+
+void QuiescenceTracker::fire_waiters() {
+  while (!waiters_.empty() && outstanding_ == 0) {
+    auto fn = std::move(waiters_.front());
+    waiters_.erase(waiters_.begin());
+    fn();
+  }
+}
+
+}  // namespace vdep::replication

@@ -1,0 +1,139 @@
+#include "replication/client_coordinator.hpp"
+
+#include "orb/giop.hpp"
+#include "util/assert.hpp"
+#include "util/calibration.hpp"
+#include "util/logging.hpp"
+
+namespace vdep::replication {
+
+ClientCoordinatorParams::ClientCoordinatorParams()
+    : traversal_cost(calib::kReplicatorTraversal) {}
+
+ClientCoordinator::ClientCoordinator(net::Network& network, gcs::Daemon& daemon,
+                                     sim::Process& process,
+                                     ClientCoordinatorParams params)
+    : network_(network), process_(process), params_(params) {
+  endpoint_ = std::make_unique<gcs::Endpoint>(daemon, process);
+  endpoint_->set_private_handler(
+      [this](const gcs::PrivateMessage& msg) { on_private(msg); });
+}
+
+void ClientCoordinator::send_request(const orb::ObjectRef& ref, Bytes giop) {
+  VDEP_ASSERT_MSG(ref.group.has_value(),
+                  "client coordinator needs a group profile in the object reference");
+
+  // Interception: rewrite the request with the FT_REQUEST context so every
+  // replica can identify it across retransmissions.
+  orb::GiopMessage parsed = orb::decode_giop(giop);
+  VDEP_ASSERT(parsed.request.has_value());
+
+  orb::FtRequestContext ctx;
+  ctx.client = process_.id();
+  ctx.retention_id = parsed.request->request_id;
+  ctx.client_daemon = endpoint_->daemon_host();
+  ctx.expiration = process_.now() + params_.request_expiration;
+  parsed.request->service_contexts.push_back(ctx.to_context());
+
+  RepEnvelope env{RepEnvelope::Type::kRequest, parsed.request->encode()};
+
+  Pending pending;
+  pending.group = ref.group->group;
+  pending.wire = env.encode();
+  const std::uint32_t request_id = parsed.request->request_id;
+  auto [it, inserted] = outstanding_.emplace(request_id, std::move(pending));
+  VDEP_ASSERT_MSG(inserted, "request id reused while outstanding");
+
+  // Interposition cost, then multicast into the server group.
+  network_.cpu(process_.host())
+      .execute(params_.traversal_cost, process_.guarded([this, request_id] {
+        auto pit = outstanding_.find(request_id);
+        if (pit == outstanding_.end()) return;  // cancelled meanwhile
+        transmit(request_id, pit->second);
+      }));
+}
+
+void ClientCoordinator::transmit(std::uint32_t request_id, Pending& pending) {
+  endpoint_->multicast(pending.group, gcs::ServiceType::kAgreed, pending.wire);
+  arm_retry(request_id);
+}
+
+void ClientCoordinator::arm_retry(std::uint32_t request_id) {
+  auto it = outstanding_.find(request_id);
+  if (it == outstanding_.end()) return;
+  it->second.retry_timer.cancel();
+  it->second.retry_timer = process_.post(params_.retry_timeout, [this, request_id] {
+    auto pit = outstanding_.find(request_id);
+    if (pit == outstanding_.end()) return;
+    if (pit->second.retries >= params_.max_retries) {
+      ++expired_;
+      log_warn(process_.now(), "client-coord",
+               process_.name() + " giving up on request " + std::to_string(request_id));
+      outstanding_.erase(pit);
+      return;
+    }
+    ++pit->second.retries;
+    ++retransmissions_;
+    transmit(request_id, pit->second);
+  });
+}
+
+void ClientCoordinator::cancel(std::uint32_t request_id) {
+  auto it = outstanding_.find(request_id);
+  if (it == outstanding_.end()) return;
+  it->second.retry_timer.cancel();
+  outstanding_.erase(it);
+}
+
+void ClientCoordinator::on_private(const gcs::PrivateMessage& msg) {
+  // Interposition cost on the reply path, then coordinate.
+  network_.cpu(process_.host())
+      .execute(params_.traversal_cost,
+               process_.guarded([this, sender = msg.sender, raw = msg.payload] {
+                 orb::GiopMessage parsed = orb::decode_giop(raw);
+                 if (parsed.type != orb::GiopMsgType::kReply || !parsed.reply) return;
+                 const std::uint32_t request_id = parsed.reply->request_id;
+                 auto it = outstanding_.find(request_id);
+                 if (it == outstanding_.end()) {
+                   ++duplicate_replies_;
+                   return;
+                 }
+                 Pending& pending = it->second;
+
+                 if (params_.policy == ResponsePolicy::kFirstReply) {
+                   complete(request_id, raw);
+                   return;
+                 }
+
+                 // Majority voting over reply bodies. One vote per replica;
+                 // the required majority comes from the freshest view size
+                 // replicas report in their FT group-version context.
+                 if (pending.voters.contains(sender)) return;
+                 pending.voters.insert(sender);
+                 for (const auto& sc : parsed.reply->service_contexts) {
+                   if (sc.context_id != orb::kFtGroupVersionContextId) continue;
+                   orb::CdrReader r(sc.data);
+                   (void)r.ulonglong();  // view id
+                   const std::uint32_t size = r.ulong();
+                   pending.best_view_size = std::max(pending.best_view_size, size);
+                 }
+                 const std::uint64_t body_hash = fnv1a(parsed.reply->body);
+                 const int count = ++pending.votes[body_hash];
+                 pending.exemplars.emplace(body_hash, raw);
+                 const std::uint32_t view_size = std::max(pending.best_view_size, 1u);
+                 if (static_cast<std::uint32_t>(count) >= view_size / 2 + 1) {
+                   Bytes winner = pending.exemplars[body_hash];
+                   complete(request_id, std::move(winner));
+                 }
+               }));
+}
+
+void ClientCoordinator::complete(std::uint32_t request_id, Bytes reply) {
+  auto it = outstanding_.find(request_id);
+  if (it == outstanding_.end()) return;
+  it->second.retry_timer.cancel();
+  outstanding_.erase(it);
+  deliver_reply(std::move(reply));
+}
+
+}  // namespace vdep::replication

@@ -1,0 +1,49 @@
+#include "replication/cold_passive.hpp"
+
+#include "replication/replicator.hpp"
+
+namespace vdep::replication {
+
+bool ColdPassiveEngine::responder() const {
+  return r_.my_rank() == 0 && !r_.cold_launch_pending();
+}
+
+void ColdPassiveEngine::on_request(const RequestRecord& rec) {
+  if (responder()) {
+    r_.execute_request(rec, /*send_reply=*/true);
+    const auto every = r_.params().checkpoint_every_requests;
+    const auto& view = r_.current_view();
+    if (every > 0 && view && view->size() > 1 &&
+        r_.executions_since_checkpoint() >= every) {
+      r_.take_checkpoint();
+    }
+  } else {
+    // Dormant backups (and a still-launching promotee) just log.
+    r_.log_request(rec);
+  }
+}
+
+void ColdPassiveEngine::on_checkpoint(const CheckpointMsg& msg) {
+  // Cold: retain without applying; install happens at launch.
+  r_.store_checkpoint(msg);
+}
+
+void ColdPassiveEngine::on_view_change(const gcs::View& old_view,
+                                       const gcs::View& new_view) {
+  const ProcessId self = r_.process().id();
+  const bool was_head = !old_view.members.empty() && old_view.members.front().process == self;
+  const bool is_head = !new_view.members.empty() && new_view.members.front().process == self;
+  if (is_head && !was_head) r_.promote_cold();
+}
+
+void ColdPassiveEngine::on_timer() {
+  if (!responder()) return;
+  const auto& view = r_.current_view();
+  if (view && view->size() > 1) {
+    r_.take_checkpoint();
+  } else {
+    r_.take_local_checkpoint();
+  }
+}
+
+}  // namespace vdep::replication

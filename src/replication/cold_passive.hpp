@@ -1,0 +1,27 @@
+// Cold passive replication — "a backup is launched only when the primary
+// crashes" (paper Sec. 3.1). Dormant backups retain the latest checkpoint
+// and the request log without applying them; promotion pays a launch delay,
+// then installs the stored checkpoint and replays. Cheapest in steady state,
+// slowest to recover.
+#pragma once
+
+#include "replication/engine.hpp"
+
+namespace vdep::replication {
+
+class ColdPassiveEngine final : public ReplicationEngine {
+ public:
+  using ReplicationEngine::ReplicationEngine;
+
+  [[nodiscard]] ReplicationStyle style() const override {
+    return ReplicationStyle::kColdPassive;
+  }
+  [[nodiscard]] bool responder() const override;
+
+  void on_request(const RequestRecord& rec) override;
+  void on_checkpoint(const CheckpointMsg& msg) override;
+  void on_view_change(const gcs::View& old_view, const gcs::View& new_view) override;
+  void on_timer() override;
+};
+
+}  // namespace vdep::replication

@@ -1,0 +1,42 @@
+// Hybrid replication — the paper's Sec. 6 direction (after Bakken et al.,
+// "Towards hybrid replication and caching strategies"): "some of the
+// replicas can be active and some can be passive in order to increase the
+// scalability of the system while keeping low fail-over delays."
+//
+// The first `hybrid_active_core` replicas (by view rank) form an active
+// core: each executes every request and replies, so the failure of a core
+// replica is absorbed with no client-visible gap. Replicas beyond the core
+// are warm observers: they log requests and install periodic checkpoints
+// from the head, contributing no execution or reply load. When an observer
+// ascends into the core (after core crashes), it replays its short log —
+// warm-passive recovery cost, but only on the rare multi-failure path.
+#pragma once
+
+#include "replication/engine.hpp"
+
+namespace vdep::replication {
+
+class HybridEngine final : public ReplicationEngine {
+ public:
+  using ReplicationEngine::ReplicationEngine;
+
+  [[nodiscard]] ReplicationStyle style() const override {
+    return ReplicationStyle::kHybrid;
+  }
+  [[nodiscard]] bool responder() const override;
+
+  void on_request(const RequestRecord& rec) override;
+  void on_checkpoint(const CheckpointMsg& msg) override;
+  void on_view_change(const gcs::View& old_view, const gcs::View& new_view) override;
+  void on_timer() override;
+
+ private:
+  [[nodiscard]] bool in_core() const;
+  [[nodiscard]] static bool rank_in_core(std::size_t rank, std::size_t core);
+
+  // Observer checkpoints fire every Nth engine tick (see on_timer).
+  static constexpr std::uint64_t kObserverSyncEvery = 4;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace vdep::replication

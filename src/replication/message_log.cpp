@@ -1,0 +1,44 @@
+#include "replication/message_log.hpp"
+
+#include "util/assert.hpp"
+
+namespace vdep::replication {
+
+void MessageLog::append(LoggedRequest entry) {
+  bytes_ += entry.giop.size();
+  const auto index = entry.index;
+  auto [it, inserted] = entries_.emplace(index, std::move(entry));
+  VDEP_ASSERT_MSG(inserted, "duplicate log index");
+}
+
+void MessageLog::truncate_applied(const std::map<ProcessId, std::uint64_t>& applied) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const auto ait = applied.find(it->second.request_id.client);
+    const bool covered = ait != applied.end() && it->second.request_id.seq <= ait->second;
+    if (covered) {
+      bytes_ -= it->second.giop.size();
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<LoggedRequest> MessageLog::take_all() {
+  std::vector<LoggedRequest> out;
+  out.reserve(entries_.size());
+  for (auto& [index, entry] : entries_) out.push_back(std::move(entry));
+  clear();
+  return out;
+}
+
+std::uint64_t MessageLog::highest_index() const {
+  return entries_.empty() ? 0 : entries_.rbegin()->first;
+}
+
+void MessageLog::clear() {
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace vdep::replication

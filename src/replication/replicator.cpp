@@ -1,0 +1,500 @@
+#include "replication/replicator.hpp"
+
+#include <algorithm>
+
+#include "orb/giop.hpp"
+#include "replication/active.hpp"
+#include "replication/cold_passive.hpp"
+#include "replication/hybrid.hpp"
+#include "replication/semi_active.hpp"
+#include "replication/warm_passive.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace vdep::replication {
+
+Replicator::Replicator(net::Network& network, gcs::Daemon& daemon,
+                       sim::Process& process, orb::ServerOrb& orb, Checkpointable& app,
+                       GroupId group, ReplicatorParams params)
+    : network_(network),
+      daemon_(daemon),
+      process_(process),
+      orb_(orb),
+      app_(app),
+      group_(group),
+      params_(params),
+      reply_cache_(params.reply_cache_capacity) {}
+
+Replicator::~Replicator() = default;
+
+void Replicator::start(ReplicationStyle style, bool join_existing) {
+  VDEP_ASSERT_MSG(endpoint_ == nullptr, "start() called twice");
+  join_existing_ = join_existing;
+  endpoint_ = std::make_unique<gcs::Endpoint>(daemon_, process_);
+  endpoint_->set_message_handler(
+      [this](const gcs::GroupMessage& m) { on_group_message(m); });
+  // Views go through the same per-message CPU pipeline as data: the group
+  // layer delivers them in total order, and charging both through one FIFO
+  // queue keeps that order inside the replicator. (A view that overtook a
+  // SAFE checkpoint here once caused double-execution on promotion.)
+  endpoint_->set_view_handler([this](const gcs::View& v) {
+    network_.cpu(process_.host())
+        .execute(params_.traversal_cost, process_.guarded([this, v] { on_view(v); }));
+  });
+
+  engine_ = make_engine(style);
+  endpoint_->join(group_);
+  arm_engine_timer();
+}
+
+void Replicator::stop() {
+  if (stopped_ || endpoint_ == nullptr) return;
+  stopped_ = true;
+  engine_timer_.cancel();
+  endpoint_->leave(group_);
+}
+
+ReplicationStyle Replicator::style() const {
+  VDEP_ASSERT(engine_ != nullptr);
+  return engine_->style();
+}
+
+std::size_t Replicator::my_rank() const {
+  if (!view_) return SIZE_MAX;
+  return view_->rank_of(process_.id()).value_or(SIZE_MAX);
+}
+
+bool Replicator::is_responder() const { return engine_ != nullptr && engine_->responder(); }
+
+double Replicator::observed_request_rate() { return rate_.rate(process_.now()); }
+
+void Replicator::set_checkpoint_interval(SimTime interval) {
+  VDEP_ASSERT(interval > kTimeZero);
+  params_.checkpoint_interval = interval;
+  arm_engine_timer();
+}
+
+void Replicator::arm_engine_timer() {
+  engine_timer_.cancel();
+  engine_timer_ = process_.post(params_.checkpoint_interval, [this] {
+    if (engine_ != nullptr && !uninitialized_) engine_->on_timer();
+    arm_engine_timer();
+  });
+}
+
+// --- group message pipeline -----------------------------------------------------
+
+void Replicator::on_group_message(const gcs::GroupMessage& msg) {
+  // Interposition cost: one replicator traversal per inbound message.
+  network_.cpu(process_.host())
+      .execute(params_.traversal_cost, process_.guarded([this, msg] {
+        RepEnvelope env = RepEnvelope::decode(msg.payload);
+        switch (env.type) {
+          case RepEnvelope::Type::kRequest:
+            handle_request_envelope(msg, std::move(env.payload));
+            return;
+          case RepEnvelope::Type::kCheckpoint:
+            handle_checkpoint(CheckpointMsg::decode(env.payload));
+            return;
+          case RepEnvelope::Type::kSwitch:
+            handle_switch(SwitchMsg::decode(env.payload));
+            return;
+          case RepEnvelope::Type::kStateRequest:
+            // The current head of the group donates state via a checkpoint.
+            if (!uninitialized_ && my_rank() == 0) take_checkpoint();
+            return;
+        }
+      }));
+}
+
+void Replicator::handle_request_envelope(const gcs::GroupMessage& /*msg*/, Bytes giop) {
+  ++request_index_;
+  rate_.record(process_.now());
+
+  orb::GiopMessage parsed = orb::decode_giop(giop);
+  VDEP_ASSERT_MSG(parsed.request.has_value(), "non-request GIOP in request envelope");
+  auto ft = orb::FtRequestContext::from_contexts(parsed.request->service_contexts);
+  VDEP_ASSERT_MSG(ft.has_value(), "replicated request without FT_REQUEST context");
+
+  RequestRecord rec;
+  rec.index = request_index_;
+  rec.rid = RequestId{ft->client, ft->retention_id};
+  rec.client_daemon = ft->client_daemon;
+  rec.expiration = ft->expiration;
+  rec.giop = std::move(giop);
+
+  if (uninitialized_) {
+    log_request(rec);
+    return;
+  }
+  if (holding_) {
+    holdq_.push_back(std::move(rec));
+    return;
+  }
+  engine_->on_request(rec);
+}
+
+void Replicator::handle_checkpoint(const CheckpointMsg& msg) {
+  if (outstanding_checkpoint_ && *outstanding_checkpoint_ == msg.checkpoint_id) {
+    // Our own checkpoint completed the SAFE round: every member daemon holds
+    // it. Quiescence ends here (the paper's checkpoint blackout).
+    outstanding_checkpoint_.reset();
+    if (switch_awaiting_checkpoint_) {
+      complete_switch();
+      return;
+    }
+    holding_ = false;
+    drain_holdq();
+    return;
+  }
+
+  if (uninitialized_) {
+    // The state transfer we asked for. When a style switch raced with our
+    // catch-up, this same checkpoint is also the switch's final checkpoint —
+    // complete it, or we would hold requests forever waiting for a second
+    // one that never comes.
+    install_checkpoint(msg);
+    uninitialized_ = false;
+    replay_log(!params_.quiet_joiner_replay);
+    log_info(process_.now(), "replicator",
+             process_.name() + " state transfer complete");
+    if (switch_awaiting_checkpoint_) complete_switch();
+    return;
+  }
+
+  if (switch_awaiting_checkpoint_) {
+    // Fig. 5, case warm-passive -> active: the final checkpoint before the
+    // switch. Backups synchronize their state with the primary, then switch.
+    install_checkpoint(msg);
+    complete_switch();
+    return;
+  }
+
+  engine_->on_checkpoint(msg);
+}
+
+void Replicator::handle_switch(const SwitchMsg& msg) {
+  VDEP_ASSERT(engine_ != nullptr);
+  // Step I: duplicate switch messages are discarded.
+  if (switch_target_.has_value() || msg.target == engine_->style()) return;
+
+  switch_target_ = msg.target;
+  switch_started_ = process_.now();
+  log_info(process_.now(), "replicator",
+           process_.name() + " switch " + to_string(engine_->style()) + " -> " +
+               to_string(msg.target));
+
+  if (needs_final_checkpoint(engine_->style(), msg.target)) {
+    // Step II, case 1 (passive -> active): everyone enqueues application
+    // messages; the primary sends one more checkpoint; backups wait for it.
+    holding_ = true;
+    switch_awaiting_checkpoint_ = true;
+    if (engine_->responder()) take_checkpoint();
+  } else {
+    // Step II, case 2 (active -> passive, or within-family change): the
+    // replicas share identical state; the new roles derive deterministically
+    // from the current view, so the switch completes at this order point.
+    complete_switch();
+  }
+}
+
+void Replicator::complete_switch() {
+  VDEP_ASSERT(switch_target_.has_value());
+  const ReplicationStyle from = engine_->style();
+  const ReplicationStyle to = *switch_target_;
+  ensure_cold_applied();
+  engine_ = make_engine(to);
+  switch_target_.reset();
+  switch_awaiting_checkpoint_ = false;
+  engine_->on_start();
+  switch_history_.push_back(SwitchRecord{switch_started_, process_.now(), from, to});
+  log_info(process_.now(), "replicator",
+           process_.name() + " now " + to_string(to) +
+               (engine_->responder() ? " (responder)" : ""));
+  if (on_style_changed_) on_style_changed_(to);
+  holding_ = false;
+  drain_holdq();
+}
+
+void Replicator::drain_holdq() {
+  auto held = std::move(holdq_);
+  holdq_.clear();
+  for (auto& rec : held) {
+    if (holding_) {
+      holdq_.push_back(std::move(rec));  // re-held (nested checkpoint)
+    } else {
+      engine_->on_request(rec);
+    }
+  }
+}
+
+// --- views -------------------------------------------------------------------------
+
+void Replicator::on_view(const gcs::View& view) {
+  const std::optional<gcs::View> old = view_;
+  view_ = view;
+
+  const bool joined_now =
+      view.contains(process_.id()) && (!old || !old->contains(process_.id()));
+  if (joined_now) {
+    if (view.size() > 1 && join_existing_) {
+      uninitialized_ = true;
+      request_state_transfer();
+    }
+    engine_->on_start();
+  }
+
+  // Fig. 5, step III case 1: if the primary crashed before its final
+  // checkpoint, the backups roll forward from their logs instead.
+  if (switch_awaiting_checkpoint_ && old) {
+    const bool old_head_gone =
+        !old->members.empty() && !view.contains(old->members.front().process);
+    if (old_head_gone) {
+      log_info(process_.now(), "replicator",
+               process_.name() + " switch rollback: primary crashed before checkpoint");
+      ensure_cold_applied();
+      replay_log(true);
+      complete_switch();
+      return;
+    }
+  }
+
+  if (old && engine_ != nullptr && !uninitialized_) {
+    engine_->on_view_change(*old, view);
+  }
+}
+
+void Replicator::request_state_transfer() {
+  RepEnvelope env{RepEnvelope::Type::kStateRequest, {}};
+  endpoint_->multicast(group_, gcs::ServiceType::kAgreed, env.encode());
+}
+
+// --- execution ----------------------------------------------------------------------
+
+void Replicator::execute_request(const RequestRecord& rec, bool send_reply) {
+  // FT-CORBA request expiration: the client has given up on this request (it
+  // stopped retrying long ago), so executing it would only waste the cycle.
+  // Deterministic across replicas: expiration and delivery order are shared.
+  if (rec.expiration > kTimeZero && process_.now() > rec.expiration) {
+    ++expired_dropped_;
+    return;
+  }
+  // Exactly-once: retention ids are per-client monotone, so anything at or
+  // below the applied frontier is a duplicate (client retransmission,
+  // group-layer replay, or already covered by an installed checkpoint).
+  auto& frontier = applied_rid_[rec.rid.client];
+  if (rec.rid.seq <= frontier) {
+    if (send_reply) {
+      if (auto cached = reply_cache_.get(rec.rid)) {
+        send_reply_to_client(rec, *cached);
+      }
+      // Cache miss: the original execution is still in flight (its reply
+      // will go out when it completes) or the reply aged out of the cache —
+      // the client's next retry reaches a fresher cache.
+    }
+    return;
+  }
+  frontier = rec.rid.seq;
+
+  quiescence_.begin_execution();
+  ++executed_count_;
+  ++executions_since_checkpoint_;
+  orb_.handle_request(rec.giop, [this, rid = rec.rid,
+                                 client_daemon = rec.client_daemon,
+                                 send_reply](Bytes reply_giop) {
+    reply_cache_.put(rid, reply_giop);
+    if (send_reply) {
+      RequestRecord stub;
+      stub.rid = rid;
+      stub.client_daemon = client_daemon;
+      send_reply_to_client(stub, reply_giop);
+    }
+    quiescence_.end_execution();
+  });
+}
+
+void Replicator::log_request(const RequestRecord& rec) {
+  log_.append(
+      LoggedRequest{rec.index, rec.rid, rec.client_daemon, rec.expiration, rec.giop});
+}
+
+void Replicator::send_reply_to_client(const RequestRecord& rec, const Bytes& reply_giop) {
+  // Interposition cost on the way out, then unicast to the client's daemon.
+  network_.cpu(process_.host())
+      .execute(params_.traversal_cost,
+               process_.guarded([this, rid = rec.rid, daemon = rec.client_daemon,
+                                 reply = augment_reply(reply_giop)]() mutable {
+                 endpoint_->unicast(rid.client, daemon, std::move(reply));
+               }));
+}
+
+Bytes Replicator::augment_reply(const Bytes& reply_giop) const {
+  orb::GiopMessage parsed = orb::decode_giop(reply_giop);
+  VDEP_ASSERT(parsed.reply.has_value());
+  orb::CdrWriter w;
+  w.ulonglong(view_ ? view_->view_id : 0);
+  w.ulong(view_ ? static_cast<std::uint32_t>(view_->size()) : 0);
+  w.ulong(static_cast<std::uint32_t>(std::min<std::size_t>(my_rank(), 0xffffffff)));
+  parsed.reply->service_contexts.push_back(
+      orb::ServiceContext{orb::kFtGroupVersionContextId, std::move(w).take()});
+  return parsed.reply->encode();
+}
+
+// --- checkpointing --------------------------------------------------------------------
+
+void Replicator::take_checkpoint() {
+  if (outstanding_checkpoint_.has_value()) return;  // one in flight already
+  holding_ = true;
+  quiescence_.when_quiescent(process_.guarded([this] {
+    ++checkpoint_counter_;
+    executions_since_checkpoint_ = 0;
+    const std::uint64_t id = (process_.id().value() << 20) | checkpoint_counter_;
+    CheckpointMsg msg;
+    msg.checkpoint_id = id;
+    msg.applied = applied_rid_;
+    msg.app_state = app_.snapshot();
+    msg.reply_cache = reply_cache_.serialize_recent(params_.checkpoint_reply_entries);
+    outstanding_checkpoint_ = id;
+
+    // Serialization occupies the CPU; the multicast submission queues behind
+    // it on the same host CPU, so the cost delays the checkpoint naturally.
+    network_.cpu(process_.host())
+        .execute(snapshot_cpu_time(app_.state_size(), params_.snapshot_bytes_per_sec),
+                 [] {});
+    RepEnvelope env{RepEnvelope::Type::kCheckpoint, msg.encode()};
+    endpoint_->multicast(group_, gcs::ServiceType::kSafe, env.encode());
+  }));
+}
+
+void Replicator::take_local_checkpoint() {
+  if (outstanding_checkpoint_.has_value() || holding_) return;
+  holding_ = true;
+  quiescence_.when_quiescent(process_.guarded([this] {
+    ++checkpoint_counter_;
+    executions_since_checkpoint_ = 0;
+    CheckpointMsg msg;
+    msg.checkpoint_id = (process_.id().value() << 20) | checkpoint_counter_;
+    msg.applied = applied_rid_;
+    msg.app_state = app_.snapshot();
+    msg.reply_cache = reply_cache_.serialize_recent(params_.checkpoint_reply_entries);
+    stored_checkpoint_ = std::move(msg);
+    network_.cpu(process_.host())
+        .execute(snapshot_cpu_time(app_.state_size(), params_.snapshot_bytes_per_sec),
+                 process_.guarded([this] {
+                   holding_ = false;
+                   drain_holdq();
+                 }));
+  }));
+}
+
+void Replicator::install_checkpoint(const CheckpointMsg& msg) {
+  // Installing over in-flight executions would let queued work re-apply
+  // requests the snapshot already contains; the delivery pipeline guarantees
+  // installs only happen on quiescent (non-executing) replicas.
+  VDEP_ASSERT_MSG(quiescence_.quiescent(), "checkpoint install while executing");
+  app_.restore(msg.app_state);
+  reply_cache_.restore(msg.reply_cache);
+  // The state now *is* the snapshot; the applied frontier must match it, and
+  // any checkpoint retained for a cold launch is superseded.
+  applied_rid_ = msg.applied;
+  stored_checkpoint_.reset();
+  log_.truncate_applied(msg.applied);
+  // Deserialization cost: occupy the CPU (delays whatever comes next).
+  network_.cpu(process_.host())
+      .execute(snapshot_cpu_time(msg.app_state.size(), params_.snapshot_bytes_per_sec),
+               [] {});
+}
+
+void Replicator::store_checkpoint(const CheckpointMsg& msg) {
+  stored_checkpoint_ = msg;
+  log_.truncate_applied(msg.applied);
+}
+
+void Replicator::replay_log(bool send_replies) {
+  for (const auto& e : log_.take_all()) {
+    RequestRecord rec;
+    rec.index = e.index;
+    rec.rid = e.request_id;
+    rec.client_daemon = e.client_daemon;
+    rec.expiration = e.expiration;
+    rec.giop = e.giop;
+    execute_request(rec, send_replies);
+  }
+}
+
+void Replicator::promote_warm() {
+  log_info(process_.now(), "replicator",
+           process_.name() + " promoted to primary (warm), replaying " +
+               std::to_string(log_.size()) + " requests");
+  replay_log(true);
+}
+
+void Replicator::ensure_cold_applied() {
+  // A dormant cold backup retains checkpoints without applying them; before
+  // it can execute under any other role, the retained snapshot must land.
+  if (engine_ != nullptr && engine_->style() == ReplicationStyle::kColdPassive &&
+      !engine_->responder() && stored_checkpoint_.has_value()) {
+    install_checkpoint(*stored_checkpoint_);
+  }
+}
+
+void Replicator::promote_cold() {
+  if (cold_launch_pending_) return;
+  cold_launch_pending_ = true;
+  log_info(process_.now(), "replicator", process_.name() + " launching cold backup");
+  process_.post(params_.cold_launch_delay, [this] {
+    if (stored_checkpoint_) install_checkpoint(*stored_checkpoint_);
+    cold_launch_pending_ = false;
+    replay_log(true);
+    log_info(process_.now(), "replicator", process_.name() + " cold backup live");
+  });
+}
+
+std::unique_ptr<ReplicationEngine> Replicator::make_engine(ReplicationStyle style) {
+  switch (style) {
+    case ReplicationStyle::kActive: return std::make_unique<ActiveEngine>(*this);
+    case ReplicationStyle::kWarmPassive: return std::make_unique<WarmPassiveEngine>(*this);
+    case ReplicationStyle::kColdPassive: return std::make_unique<ColdPassiveEngine>(*this);
+    case ReplicationStyle::kSemiActive: return std::make_unique<SemiActiveEngine>(*this);
+    case ReplicationStyle::kHybrid: return std::make_unique<HybridEngine>(*this);
+  }
+  VDEP_ASSERT_MSG(false, "unknown replication style");
+  return nullptr;
+}
+
+void Replicator::request_style_switch(ReplicationStyle target) {
+  // Fig. 5, step I: one or more replicas send a "switch" message to the
+  // whole group; duplicates are discarded at delivery.
+  if (!process_.alive() || stopped_) return;
+  if (engine_ != nullptr && target == engine_->style()) return;
+  SwitchMsg msg;
+  msg.target = target;
+  msg.initiator = process_.id();
+  RepEnvelope env{RepEnvelope::Type::kSwitch, msg.encode()};
+  endpoint_->multicast(group_, gcs::ServiceType::kAgreed, env.encode());
+}
+
+bool Replicator::needs_final_checkpoint(ReplicationStyle from, ReplicationStyle to) {
+  // A final checkpoint is needed exactly when some replica holds stale state
+  // under `from` but takes an executing role under `to`. Which ranks are
+  // stale: warm/cold passive — every backup (rank >= 1); hybrid — the
+  // observers (rank >= core); active/semi-active — nobody. Ranks do not
+  // change at the switch point, so it suffices that `to`'s stale set does
+  // not cover `from`'s.
+  const auto first_stale_rank = [](ReplicationStyle s) -> std::size_t {
+    switch (s) {
+      case ReplicationStyle::kWarmPassive:
+      case ReplicationStyle::kColdPassive:
+        return 1;
+      case ReplicationStyle::kHybrid:
+        return 2;  // == default hybrid_active_core; conservative lower bound
+      case ReplicationStyle::kActive:
+      case ReplicationStyle::kSemiActive:
+        return SIZE_MAX;
+    }
+    return SIZE_MAX;
+  };
+  return first_stale_rank(from) < first_stale_rank(to);
+}
+
+}  // namespace vdep::replication

@@ -1,0 +1,195 @@
+// The replicator: MEAD's per-process fault-tolerance module (paper Fig. 2).
+//
+// Three layers in one object:
+//   top    — interface to the application/ORB: feeds intercepted GIOP
+//            requests into the server ORB and collects replies, charging the
+//            calibrated interposition cost per traversal;
+//   middle — tunable replication mechanisms: the active / warm-passive /
+//            cold-passive / semi-active engines, reply cache, message log,
+//            checkpointing with quiescence, recovery/state transfer, and the
+//            runtime style-switch protocol of Fig. 5;
+//   bottom — interface to group communication: one gcs::Endpoint, AGREED
+//            multicast for requests/switches, SAFE for checkpoints, private
+//            unicast for replies.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gcs/endpoint.hpp"
+#include "orb/orb_core.hpp"
+#include "replication/app_state.hpp"
+#include "replication/checkpoint.hpp"
+#include "replication/engine.hpp"
+#include "replication/message_log.hpp"
+#include "replication/reply_cache.hpp"
+#include "util/stats.hpp"
+
+namespace vdep::replication {
+
+class Replicator {
+ public:
+  Replicator(net::Network& network, gcs::Daemon& daemon, sim::Process& process,
+             orb::ServerOrb& orb, Checkpointable& app, GroupId group,
+             ReplicatorParams params = {});
+  ~Replicator();
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  // Joins the group and activates the style. Call once per incarnation. Pass
+  // join_existing = true when this replica is added to an already-running
+  // group (NumReplicas knob, recovery): it will request a state transfer and
+  // log requests until the checkpoint arrives.
+  void start(ReplicationStyle style, bool join_existing = false);
+
+  // Graceful retirement: leaves the group (NumReplicas knob shrink). The
+  // surviving members see an ordinary membership change.
+  void stop();
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  // --- low-level knobs (FT-CORBA property names in comments) -----------------
+  // CheckpointInterval: how often a passive primary checkpoints.
+  void set_checkpoint_interval(SimTime interval);
+  [[nodiscard]] SimTime checkpoint_interval() const { return params_.checkpoint_interval; }
+  // ReplicationStyle, changed at runtime via the Fig. 5 protocol.
+  void request_style_switch(ReplicationStyle target);
+  [[nodiscard]] ReplicationStyle style() const;
+  [[nodiscard]] bool switch_in_progress() const { return switch_target_.has_value(); }
+
+  // --- introspection / monitoring ---------------------------------------------
+  [[nodiscard]] const std::optional<gcs::View>& current_view() const { return view_; }
+  // Rank in the current view; SIZE_MAX when not (yet) a member.
+  [[nodiscard]] std::size_t my_rank() const;
+  [[nodiscard]] bool is_responder() const;
+  [[nodiscard]] std::uint64_t requests_delivered() const { return request_index_; }
+  [[nodiscard]] std::uint64_t requests_executed() const { return executed_count_; }
+  [[nodiscard]] std::uint64_t checkpoints_taken() const { return checkpoint_counter_; }
+  // Requests discarded because their FT_REQUEST expiration had passed.
+  [[nodiscard]] std::uint64_t expired_requests_dropped() const {
+    return expired_dropped_;
+  }
+  // Request arrival rate observed at this replica (events/s), the signal the
+  // Fig. 6 adaptation policy thresholds on.
+  [[nodiscard]] double observed_request_rate();
+  [[nodiscard]] Checkpointable& app() { return app_; }
+  [[nodiscard]] sim::Process& process() { return process_; }
+  [[nodiscard]] gcs::Endpoint& endpoint() { return *endpoint_; }
+  [[nodiscard]] GroupId group() const { return group_; }
+  [[nodiscard]] const ReplicatorParams& params() const { return params_; }
+
+  struct SwitchRecord {
+    SimTime initiated;
+    SimTime completed;
+    ReplicationStyle from;
+    ReplicationStyle to;
+  };
+  [[nodiscard]] const std::vector<SwitchRecord>& switch_history() const {
+    return switch_history_;
+  }
+  void set_on_style_changed(std::function<void(ReplicationStyle)> fn) {
+    on_style_changed_ = std::move(fn);
+  }
+
+  // --- facilities used by the engines -------------------------------------------
+  // Executes a request through the ORB (dedup via reply cache); replies to
+  // the client iff `send_reply`.
+  void execute_request(const RequestRecord& rec, bool send_reply);
+  // Appends to the backup log.
+  void log_request(const RequestRecord& rec);
+  // Quiesce, snapshot, SAFE-multicast; resumes held requests when the
+  // checkpoint comes back (i.e. is stable at every member daemon).
+  void take_checkpoint();
+  // Quiesce and snapshot locally without multicasting — what a lone passive
+  // primary does so a cold restart still has a recovery point.
+  void take_local_checkpoint();
+  // Warm install: restore app + reply cache, truncate log.
+  void install_checkpoint(const CheckpointMsg& msg);
+  // Cold path: retain without applying.
+  void store_checkpoint(const CheckpointMsg& msg);
+  [[nodiscard]] const std::optional<CheckpointMsg>& stored_checkpoint() const {
+    return stored_checkpoint_;
+  }
+  // Replays every logged request not yet reflected in this replica's state
+  // (promotion / rollback / joiner catch-up); duplicate suppression comes
+  // from the per-client applied-retention-id map.
+  void replay_log(bool send_replies);
+  // Executions since the last checkpoint (drives the every-N-requests
+  // checkpoint trigger in the passive engines).
+  [[nodiscard]] std::uint64_t executions_since_checkpoint() const {
+    return executions_since_checkpoint_;
+  }
+  // Highest retention id applied per client (the exactly-once frontier).
+  [[nodiscard]] const std::map<ProcessId, std::uint64_t>& applied_frontier() const {
+    return applied_rid_;
+  }
+  // Promotion entry points.
+  void promote_warm();   // replay with replies, assume primary duties
+  // Applies a retained (cold) checkpoint if one is pending; see .cpp.
+  void ensure_cold_applied();
+  void promote_cold();   // launch delay, apply stored checkpoint, then warm path
+  [[nodiscard]] const MessageLog& message_log() const { return log_; }
+  // Cold passive: true while a promoted dormant backup is still launching.
+  [[nodiscard]] bool cold_launch_pending() const { return cold_launch_pending_; }
+
+ private:
+  void on_group_message(const gcs::GroupMessage& msg);
+  void on_view(const gcs::View& view);
+  void handle_request_envelope(const gcs::GroupMessage& msg, Bytes giop);
+  void handle_checkpoint(const CheckpointMsg& msg);
+  void handle_switch(const SwitchMsg& msg);
+  void complete_switch();
+  void drain_holdq();
+  void send_reply_to_client(const RequestRecord& rec, const Bytes& reply_giop);
+  [[nodiscard]] Bytes augment_reply(const Bytes& reply_giop) const;
+  void arm_engine_timer();
+  [[nodiscard]] std::unique_ptr<ReplicationEngine> make_engine(ReplicationStyle style);
+  [[nodiscard]] static bool needs_final_checkpoint(ReplicationStyle from,
+                                                   ReplicationStyle to);
+  void request_state_transfer();
+
+  net::Network& network_;
+  gcs::Daemon& daemon_;
+  sim::Process& process_;
+  orb::ServerOrb& orb_;
+  Checkpointable& app_;
+  GroupId group_;
+  ReplicatorParams params_;
+
+  std::unique_ptr<gcs::Endpoint> endpoint_;
+  std::unique_ptr<ReplicationEngine> engine_;
+
+  std::optional<gcs::View> view_;
+  std::uint64_t request_index_ = 0;   // local delivery index of kRequest envelopes
+  std::map<ProcessId, std::uint64_t> applied_rid_;  // exactly-once frontier
+  std::uint64_t executed_count_ = 0;  // actual executions (dedups excluded)
+  std::uint64_t expired_dropped_ = 0;
+  ReplyCache reply_cache_;
+  MessageLog log_;
+  QuiescenceTracker quiescence_;
+  SlidingRate rate_{msec(500)};
+
+  // Checkpointing state.
+  std::uint64_t checkpoint_counter_ = 0;
+  std::uint64_t executions_since_checkpoint_ = 0;
+  std::optional<std::uint64_t> outstanding_checkpoint_;  // id we multicast
+  std::optional<CheckpointMsg> stored_checkpoint_;       // cold passive
+  bool holding_ = false;  // requests parked in holdq_ (quiescence / switch)
+  std::vector<RequestRecord> holdq_;
+  bool uninitialized_ = false;  // joiner awaiting state transfer
+  bool join_existing_ = false;
+  bool cold_launch_pending_ = false;
+  bool stopped_ = false;
+  sim::EventHandle engine_timer_;
+
+  // Switch protocol state (Fig. 5).
+  std::optional<ReplicationStyle> switch_target_;
+  bool switch_awaiting_checkpoint_ = false;
+  SimTime switch_started_ = kTimeZero;
+  std::vector<SwitchRecord> switch_history_;
+  std::function<void(ReplicationStyle)> on_style_changed_;
+};
+
+}  // namespace vdep::replication

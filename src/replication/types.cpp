@@ -1,0 +1,96 @@
+#include "replication/types.hpp"
+
+#include "util/assert.hpp"
+#include "util/calibration.hpp"
+
+namespace vdep::replication {
+
+std::string to_string(ReplicationStyle style) {
+  switch (style) {
+    case ReplicationStyle::kActive: return "active";
+    case ReplicationStyle::kWarmPassive: return "warm_passive";
+    case ReplicationStyle::kColdPassive: return "cold_passive";
+    case ReplicationStyle::kSemiActive: return "semi_active";
+    case ReplicationStyle::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+std::string style_code(ReplicationStyle style) {
+  switch (style) {
+    case ReplicationStyle::kActive: return "A";
+    case ReplicationStyle::kWarmPassive: return "P";
+    case ReplicationStyle::kColdPassive: return "C";
+    case ReplicationStyle::kSemiActive: return "S";
+    case ReplicationStyle::kHybrid: return "H";
+  }
+  return "?";
+}
+
+ReplicatorParams::ReplicatorParams()
+    : traversal_cost(calib::kReplicatorTraversal),
+      checkpoint_interval(calib::kDefaultCheckpointInterval),
+      cold_launch_delay(msec(800)) {}
+
+Bytes RepEnvelope::encode() const {
+  ByteWriter w(payload.size() + 8);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+RepEnvelope RepEnvelope::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  RepEnvelope e;
+  const auto t = r.u8();
+  if (t < 1 || t > 4) throw DecodeError("bad envelope type");
+  e.type = static_cast<Type>(t);
+  e.payload = r.bytes();
+  return e;
+}
+
+Bytes CheckpointMsg::encode() const {
+  ByteWriter w(app_state.size() + reply_cache.size() + 32);
+  w.u64(checkpoint_id);
+  w.u32(static_cast<std::uint32_t>(applied.size()));
+  for (const auto& [client, rid] : applied) {
+    w.u64(client.value());
+    w.u64(rid);
+  }
+  w.bytes(app_state);
+  w.bytes(reply_cache);
+  return std::move(w).take();
+}
+
+CheckpointMsg CheckpointMsg::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  CheckpointMsg m;
+  m.checkpoint_id = r.u64();
+  const auto n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ProcessId client{r.u64()};
+    m.applied[client] = r.u64();
+  }
+  m.app_state = r.bytes();
+  m.reply_cache = r.bytes();
+  return m;
+}
+
+Bytes SwitchMsg::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(target));
+  w.u64(initiator.value());
+  return std::move(w).take();
+}
+
+SwitchMsg SwitchMsg::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  SwitchMsg m;
+  const auto t = r.u8();
+  if (t > 4) throw DecodeError("bad switch target");
+  m.target = static_cast<ReplicationStyle>(t);
+  m.initiator = ProcessId{r.u64()};
+  return m;
+}
+
+}  // namespace vdep::replication

@@ -1,0 +1,110 @@
+// Replication styles and the envelope protocol replicas speak over the
+// group-communication system.
+//
+// Styles (paper Sec. 3.1 plus the planned extensions from Sec. 6):
+//   Active       — state-machine replication: every replica executes every
+//                  request and replies; the client accepts the first reply
+//                  (or majority-votes).
+//   WarmPassive  — primary executes and replies; backups log requests and
+//                  apply periodic checkpoints; failover promotes the
+//                  highest-ranked backup, which replays the log.
+//   ColdPassive  — like warm passive, but backups are dormant: they retain
+//                  the latest checkpoint and log without applying them, and
+//                  pay a launch delay before taking over.
+//   SemiActive   — Delta-4 XPA leader/follower: all execute, only the leader
+//                  replies; failover is instant and needs no checkpoints.
+//   Hybrid       — an active core of the first k replicas (instant failover,
+//                  k-fold execution) plus warm observers beyond it (cheap
+//                  extra redundancy) — the Sec. 6 extension direction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace vdep::replication {
+
+enum class ReplicationStyle : std::uint8_t {
+  kActive = 0,
+  kWarmPassive = 1,
+  kColdPassive = 2,
+  kSemiActive = 3,
+  kHybrid = 4,
+};
+
+[[nodiscard]] std::string to_string(ReplicationStyle style);
+
+// Short form used in the paper's tables: A(3), P(2), ...
+[[nodiscard]] std::string style_code(ReplicationStyle style);
+
+// Messages multicast within a replica group.
+struct RepEnvelope {
+  enum class Type : std::uint8_t {
+    kRequest = 1,       // a client's GIOP request (payload = GIOP bytes)
+    kCheckpoint = 2,    // state checkpoint (payload = CheckpointMsg)
+    kSwitch = 3,        // replication-style switch, Fig. 5 (payload = SwitchMsg)
+    kStateRequest = 4,  // a joining replica asking for a state transfer
+  };
+
+  Type type = Type::kRequest;
+  Bytes payload;
+
+  [[nodiscard]] Bytes encode() const;
+  static RepEnvelope decode(const Bytes& raw);
+};
+
+// A checkpoint: the application snapshot plus everything a backup needs to
+// take over without violating exactly-once:
+//  - `applied` maps each client to the highest retention id folded into this
+//    snapshot. Retention ids are per-client monotone (FT-CORBA), so a
+//    request is a duplicate w.r.t. this state iff its id is <= the map's
+//    entry — robust against client retransmissions, group-layer replays and
+//    joiners whose local delivery counts differ from the primary's;
+//  - `reply_cache` holds recent replies for resending to retrying clients.
+struct CheckpointMsg {
+  std::uint64_t checkpoint_id = 0;
+  std::map<ProcessId, std::uint64_t> applied;
+  Bytes app_state;
+  Bytes reply_cache;
+
+  [[nodiscard]] Bytes encode() const;
+  static CheckpointMsg decode(const Bytes& raw);
+};
+
+struct SwitchMsg {
+  ReplicationStyle target = ReplicationStyle::kActive;
+  // Who initiated, for tracing; duplicates from concurrent initiators are
+  // discarded at delivery (paper Fig. 5, step I).
+  ProcessId initiator;
+
+  [[nodiscard]] Bytes encode() const;
+  static SwitchMsg decode(const Bytes& raw);
+};
+
+struct ReplicatorParams {
+  SimTime traversal_cost;            // per-message interposition cost
+  // Checkpointing frequency — the paper's low-level knob, in both flavours:
+  // a periodic floor (time-based) and an every-N-requests trigger so that
+  // backup staleness stays bounded under load (0 disables the trigger).
+  SimTime checkpoint_interval;       // warm/cold passive
+  std::uint32_t checkpoint_every_requests = 25;
+  // Hybrid style: how many replicas (by view rank) form the active core.
+  std::size_t hybrid_active_core = 2;
+  double snapshot_bytes_per_sec = 100e6;  // state (de)serialization CPU rate
+  SimTime cold_launch_delay;         // cold passive: backup start-up time
+  std::size_t reply_cache_capacity = 4096;
+  // How many recent replies travel inside a checkpoint (see
+  // ReplyCache::serialize_recent).
+  std::size_t checkpoint_reply_entries = 16;
+  // Suppress replies when replaying as a catching-up joiner (live replicas
+  // already replied); failover replays always reply.
+  bool quiet_joiner_replay = true;
+
+  ReplicatorParams();
+};
+
+}  // namespace vdep::replication

@@ -1,0 +1,54 @@
+#include "replication/warm_passive.hpp"
+
+#include "replication/replicator.hpp"
+
+namespace vdep::replication {
+
+bool WarmPassiveEngine::responder() const { return r_.my_rank() == 0; }
+
+void WarmPassiveEngine::on_request(const RequestRecord& rec) {
+  if (responder()) {
+    r_.execute_request(rec, /*send_reply=*/true);
+    // Load-coupled checkpointing: bound how stale the backups may get in
+    // requests, not just in wall-clock time.
+    const auto every = r_.params().checkpoint_every_requests;
+    const auto& view = r_.current_view();
+    if (every > 0 && view && view->size() > 1 &&
+        r_.executions_since_checkpoint() >= every) {
+      r_.take_checkpoint();
+    }
+  } else {
+    r_.log_request(rec);
+  }
+}
+
+void WarmPassiveEngine::on_checkpoint(const CheckpointMsg& msg) {
+  // Backups apply checkpoints eagerly ("warm"), truncating their logs.
+  r_.install_checkpoint(msg);
+}
+
+void WarmPassiveEngine::on_view_change(const gcs::View& old_view,
+                                       const gcs::View& new_view) {
+  const ProcessId self = r_.process().id();
+  const bool was_head = !old_view.members.empty() && old_view.members.front().process == self;
+  const bool is_head = !new_view.members.empty() && new_view.members.front().process == self;
+  if (is_head && !was_head) {
+    // The primary failed (or left): replay the log since the last checkpoint
+    // and assume primary duties.
+    r_.promote_warm();
+  }
+}
+
+void WarmPassiveEngine::on_timer() {
+  if (!responder()) return;
+  const auto& view = r_.current_view();
+  if (view && view->size() > 1) {
+    r_.take_checkpoint();
+  } else {
+    // No backups to warm: snapshot locally so a restart has a recovery
+    // point. Costs quiescence + serialization, no traffic.
+    r_.take_local_checkpoint();
+  }
+}
+
+}  // namespace vdep::replication

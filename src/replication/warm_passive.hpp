@@ -1,0 +1,28 @@
+// Warm passive replication — primary-backup with standby backups: only the
+// primary (rank 0 in the current view) executes and replies; backups log
+// requests and periodically receive state checkpoints. On primary failure
+// the senior backup replays the logged requests since the last checkpoint
+// and takes over. Resource-frugal, slower to respond (checkpoint quiescence)
+// and to recover (replay) than active replication.
+#pragma once
+
+#include "replication/engine.hpp"
+
+namespace vdep::replication {
+
+class WarmPassiveEngine final : public ReplicationEngine {
+ public:
+  using ReplicationEngine::ReplicationEngine;
+
+  [[nodiscard]] ReplicationStyle style() const override {
+    return ReplicationStyle::kWarmPassive;
+  }
+  [[nodiscard]] bool responder() const override;
+
+  void on_request(const RequestRecord& rec) override;
+  void on_checkpoint(const CheckpointMsg& msg) override;
+  void on_view_change(const gcs::View& old_view, const gcs::View& new_view) override;
+  void on_timer() override;
+};
+
+}  // namespace vdep::replication

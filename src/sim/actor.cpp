@@ -1,0 +1,44 @@
+#include "sim/actor.hpp"
+
+#include "util/logging.hpp"
+
+namespace vdep::sim {
+
+Process::Process(Kernel& kernel, ProcessId id, NodeId host, std::string name)
+    : kernel_(kernel), id_(id), host_(host), name_(std::move(name)) {}
+
+EventFn Process::guarded(EventFn fn) {
+  const std::uint64_t epoch = epoch_;
+  return [this, epoch, fn = std::move(fn)] {
+    if (alive_ && epoch_ == epoch) fn();
+  };
+}
+
+EventHandle Process::post(SimTime delay, EventFn fn) {
+  return kernel_.post(delay, guarded(std::move(fn)));
+}
+
+void Process::crash() {
+  if (!alive_) return;
+  log_info(kernel_.now(), "process", name_ + " CRASH");
+  alive_ = false;
+  ++epoch_;
+  on_crash();
+  // Copy: listeners may unsubscribe/re-subscribe during iteration.
+  auto listeners = crash_listeners_;
+  for (auto& l : listeners) l(id_);
+}
+
+void Process::restart() {
+  if (alive_) return;
+  log_info(kernel_.now(), "process", name_ + " RESTART");
+  alive_ = true;
+  ++epoch_;
+  on_start();
+}
+
+void Process::subscribe_crash(std::function<void(ProcessId)> listener) {
+  crash_listeners_.push_back(std::move(listener));
+}
+
+}  // namespace vdep::sim

@@ -1,0 +1,52 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace vdep::sim {
+
+Cpu::Cpu(Kernel& kernel, NodeId node) : kernel_(kernel), node_(node) {}
+
+void Cpu::set_slowdown(double factor) {
+  VDEP_ASSERT(factor > 0.0);
+  slowdown_ = factor;
+}
+
+void Cpu::execute(SimTime duration, EventFn on_done) {
+  VDEP_ASSERT(duration >= kTimeZero);
+  duration = SimTime{static_cast<std::int64_t>(
+      static_cast<double>(duration.count()) * slowdown_)};
+  const SimTime start = std::max(kernel_.now(), next_free_);
+  const SimTime done = start + duration;
+  next_free_ = done;
+  busy_total_ += duration;
+  ++jobs_;
+  kernel_.post_at(done, std::move(on_done));
+}
+
+SimTime Cpu::backlog() const {
+  return std::max(kTimeZero, next_free_ - kernel_.now());
+}
+
+double Cpu::utilization() const {
+  const SimTime elapsed = kernel_.now();
+  if (elapsed <= kTimeZero) return 0.0;
+  // busy_total_ counts enqueued work; cap at elapsed so a deep backlog does
+  // not report > 100%.
+  const auto busy = std::min(busy_total_, elapsed);
+  return static_cast<double>(busy.count()) / static_cast<double>(elapsed.count());
+}
+
+double Cpu::load_since_last_sample() {
+  const SimTime now = kernel_.now();
+  const SimTime window = now - sample_mark_time_;
+  const SimTime busy = busy_total_ - sample_mark_busy_;
+  sample_mark_time_ = now;
+  sample_mark_busy_ = busy_total_;
+  if (window <= kTimeZero) return 0.0;
+  return std::min(1.0, static_cast<double>(busy.count()) /
+                           static_cast<double>(window.count()));
+}
+
+}  // namespace vdep::sim

@@ -1,0 +1,56 @@
+// Single-server FIFO CPU model, one per host.
+//
+// Every piece of simulated work (ORB marshalling, daemon packet processing,
+// application execution, checkpoint serialization) occupies the host CPU for
+// its calibrated duration; contention between co-located components emerges
+// naturally as queueing delay — this is what bends the latency curves upward
+// as clients are added in Fig. 7(a).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/kernel.hpp"
+#include "util/ids.hpp"
+
+namespace vdep::sim {
+
+class Cpu {
+ public:
+  Cpu(Kernel& kernel, NodeId node);
+
+  // Enqueues `duration` of work; `on_done` runs when it completes. Work is
+  // served FIFO; callers wrap `on_done` in Process::guarded when the work
+  // belongs to a crashable process.
+  void execute(SimTime duration, EventFn on_done);
+
+  // Performance/timing faults (paper Sec. 3.1): a factor > 1 stretches every
+  // subsequently enqueued duration (a thermally throttled or overcommitted
+  // machine); 1.0 restores nominal speed.
+  void set_slowdown(double factor);
+  [[nodiscard]] double slowdown() const { return slowdown_; }
+
+  // Time already committed but not yet served (queue depth in time units).
+  [[nodiscard]] SimTime backlog() const;
+
+  // Fraction of time busy since construction.
+  [[nodiscard]] double utilization() const;
+
+  // Fraction of time busy since the last call to this function; used by the
+  // resource monitor as the "CPU load" metric.
+  [[nodiscard]] double load_since_last_sample();
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] std::uint64_t jobs_completed() const { return jobs_; }
+
+ private:
+  Kernel& kernel_;
+  NodeId node_;
+  double slowdown_ = 1.0;
+  SimTime next_free_ = kTimeZero;
+  SimTime busy_total_ = kTimeZero;
+  SimTime sample_mark_time_ = kTimeZero;
+  SimTime sample_mark_busy_ = kTimeZero;
+  std::uint64_t jobs_ = 0;
+};
+
+}  // namespace vdep::sim

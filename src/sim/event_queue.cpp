@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace vdep::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::active() const { return cancelled_ && !*cancelled_; }
+
+EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{at, seq_++, cancelled, std::move(fn)});
+  ++live_;
+  return EventHandle{std::move(cancelled)};
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  VDEP_ASSERT(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  VDEP_ASSERT(!heap_.empty());
+  const Entry& top = heap_.top();
+  Popped out{top.at, std::move(top.fn)};
+  // A popped event is no longer pending: its handle reports inactive, and a
+  // late cancel() becomes a harmless no-op.
+  *top.cancelled = true;
+  heap_.pop();
+  --live_;
+  return out;
+}
+
+}  // namespace vdep::sim

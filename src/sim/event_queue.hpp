@@ -1,0 +1,83 @@
+// Priority queue of timestamped events with deterministic tie-breaking.
+//
+// Events at the same simulated time fire in insertion order (FIFO), which is
+// what makes whole-system runs bit-reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vdep::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle for cancelling a scheduled event. Default-constructed handles are
+// inert. Cancellation is O(1): the event stays in the heap but is skipped.
+// active() means "still pending": false before scheduling, after cancel(),
+// and after the event has fired.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel();
+  [[nodiscard]] bool active() const;
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `at`. Must not be earlier than the last
+  // popped event time.
+  EventHandle schedule(SimTime at, EventFn fn);
+
+  // True when no non-cancelled events remain.
+  [[nodiscard]] bool empty() const;
+
+  // Time of the earliest pending event; queue must not be empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  // Pops and returns the earliest event. Queue must not be empty.
+  struct Popped {
+    SimTime at;
+    EventFn fn;
+  };
+  [[nodiscard]] Popped pop();
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::uint64_t scheduled_total() const { return seq_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    // Shared with EventHandle; true once cancelled.
+    std::shared_ptr<bool> cancelled;
+    // Mutable so pop() can move the closure out of the priority queue's
+    // const top() without copying.
+    mutable EventFn fn;
+
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::size_t live_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace vdep::sim

@@ -1,0 +1,50 @@
+#include "sim/kernel.hpp"
+
+#include "util/assert.hpp"
+
+namespace vdep::sim {
+
+Kernel::Kernel(std::uint64_t seed) : root_rng_(seed) {}
+
+EventHandle Kernel::post(SimTime delay, EventFn fn) {
+  VDEP_ASSERT_MSG(delay >= kTimeZero, "cannot schedule in the past");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventHandle Kernel::post_at(SimTime at, EventFn fn) {
+  VDEP_ASSERT_MSG(at >= now_, "cannot schedule in the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+void Kernel::execute_one() {
+  auto [at, fn] = queue_.pop();
+  VDEP_ASSERT(at >= now_);
+  now_ = at;
+  fn();
+  ++executed_;
+}
+
+void Kernel::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) execute_one();
+}
+
+void Kernel::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    execute_one();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+std::size_t Kernel::run_steps(std::size_t n) {
+  stopped_ = false;
+  std::size_t done = 0;
+  while (done < n && !stopped_ && !queue_.empty()) {
+    execute_one();
+    ++done;
+  }
+  return done;
+}
+
+}  // namespace vdep::sim

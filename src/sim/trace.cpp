@@ -1,0 +1,36 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace vdep::sim {
+
+std::vector<TimeSeries::Point> TimeSeries::resample(SimTime start, SimTime end,
+                                                    SimTime step) const {
+  std::vector<Point> out;
+  if (step <= kTimeZero || end < start) return out;
+  std::size_t i = 0;
+  double last = points_.empty() ? 0.0 : points_.front().value;
+  for (SimTime t = start; t <= end; t += step) {
+    while (i < points_.size() && points_[i].at <= t) {
+      last = points_[i].value;
+      ++i;
+    }
+    out.push_back({t, last});
+  }
+  return out;
+}
+
+void TraceRecorder::add(SimTime at, std::string component, std::string event) {
+  if (!enabled_) return;
+  entries_.push_back({at, std::move(component), std::move(event)});
+}
+
+std::string TraceRecorder::render() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << e.at.count() << " " << e.component << " " << e.event << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vdep::sim

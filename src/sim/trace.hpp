@@ -1,0 +1,66 @@
+// Trace recording: named time-series and a structured event trace.
+//
+// TimeSeries feeds the Fig. 6 style plots (request rate / replication style
+// over time); TraceRecorder supports determinism tests (two runs with the
+// same seed must produce identical traces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vdep::sim {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(SimTime at, double value) { points_.push_back({at, value}); }
+
+  struct Point {
+    SimTime at;
+    double value;
+  };
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  // Resamples onto a regular grid [start, end] with `step`, carrying the last
+  // value forward (suits step signals like "current replication style").
+  [[nodiscard]] std::vector<Point> resample(SimTime start, SimTime end,
+                                            SimTime step) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+// Append-only structured trace. Disabled by default; when disabled, add() is
+// a no-op so hot paths can trace unconditionally.
+class TraceRecorder {
+ public:
+  void enable() { enabled_ = true; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void add(SimTime at, std::string component, std::string event);
+
+  struct Entry {
+    SimTime at;
+    std::string component;
+    std::string event;
+  };
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  // Canonical one-line-per-entry rendering, for golden comparisons.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace vdep::sim

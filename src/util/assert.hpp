@@ -1,0 +1,31 @@
+// Invariant checking for the versatile-dependability library.
+//
+// VDEP_ASSERT is active in all build types: the library models fault-tolerant
+// protocols whose correctness arguments rest on internal invariants, and a
+// silently-violated invariant in RelWithDebInfo would invalidate every
+// experiment built on top of it.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vdep {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "VDEP_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace vdep
+
+#define VDEP_ASSERT(expr)                                        \
+  do {                                                           \
+    if (!(expr)) ::vdep::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define VDEP_ASSERT_MSG(expr, msg)                                \
+  do {                                                            \
+    if (!(expr)) ::vdep::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,24 @@
+#include "util/bytes.hpp"
+
+namespace vdep {
+
+Bytes filler_bytes(std::size_t size, std::uint8_t seed) {
+  Bytes out(size);
+  std::uint8_t v = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    v = static_cast<std::uint8_t>(v * 167 + 13);
+    out[i] = v;
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace vdep

@@ -1,0 +1,58 @@
+#include "util/logging.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vdep {
+
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+bool g_env_checked = false;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::set_level(LogLevel level) {
+  g_level = level;
+  g_env_checked = true;
+}
+
+LogLevel Logger::level() {
+  init_from_env();
+  return g_level;
+}
+
+void Logger::init_from_env() {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  const char* env = std::getenv("VDEP_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "trace") == 0) g_level = LogLevel::kTrace;
+  else if (std::strcmp(env, "debug") == 0) g_level = LogLevel::kDebug;
+  else if (std::strcmp(env, "info") == 0) g_level = LogLevel::kInfo;
+  else if (std::strcmp(env, "warn") == 0) g_level = LogLevel::kWarn;
+  else if (std::strcmp(env, "error") == 0) g_level = LogLevel::kError;
+  else g_level = LogLevel::kOff;
+}
+
+void Logger::log(LogLevel level, SimTime sim_now, const std::string& component,
+                 const std::string& message) {
+  init_from_env();
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[%12.3f us] %s %-12s %s\n", to_usec(sim_now), level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace vdep

@@ -1,0 +1,48 @@
+// Minimal leveled logging for the infrastructure.
+//
+// Logging is off by default (benchmarks and tests run silently); enable via
+// Logger::set_level or the VDEP_LOG environment variable (trace|debug|info|
+// warn|error|off). Log lines carry the simulated timestamp when provided,
+// which is what you want when debugging a protocol trace.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace vdep {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static void set_level(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  // Initialize from VDEP_LOG if set; called lazily on first use.
+  static void init_from_env();
+
+  static void log(LogLevel level, SimTime sim_now, const std::string& component,
+                  const std::string& message);
+};
+
+// Convenience wrappers. `now` is the simulated time (pass kTimeZero outside
+// simulation contexts).
+inline void log_trace(SimTime now, const std::string& c, const std::string& m) {
+  Logger::log(LogLevel::kTrace, now, c, m);
+}
+inline void log_debug(SimTime now, const std::string& c, const std::string& m) {
+  Logger::log(LogLevel::kDebug, now, c, m);
+}
+inline void log_info(SimTime now, const std::string& c, const std::string& m) {
+  Logger::log(LogLevel::kInfo, now, c, m);
+}
+inline void log_warn(SimTime now, const std::string& c, const std::string& m) {
+  Logger::log(LogLevel::kWarn, now, c, m);
+}
+inline void log_error(SimTime now, const std::string& c, const std::string& m) {
+  Logger::log(LogLevel::kError, now, c, m);
+}
+
+}  // namespace vdep

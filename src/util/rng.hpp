@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the simulator (network jitter, workload
+// inter-arrival times, fault injection) draws from an Rng seeded from the
+// experiment seed, so runs are bit-reproducible. xoshiro256** is used for its
+// speed and statistical quality; std::mt19937_64 would also work but is
+// slower and its distributions are not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace vdep {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next();
+
+  // Uniform in [0, n). n must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  // Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p);
+
+  // Exponential with the given mean (> 0); used for Poisson arrivals.
+  [[nodiscard]] double exponential(double mean);
+
+  // Normal via Box-Muller.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  // Derives an independent stream; children of distinct indices do not
+  // correlate with each other or the parent.
+  [[nodiscard]] Rng fork(std::uint64_t stream_index);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace vdep

@@ -1,0 +1,116 @@
+// Statistics collectors used by the monitoring layer and the experiment
+// harness: running moments, percentile samplers, and sliding-window rates.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vdep {
+
+// Online mean / variance / min / max (Welford). Used for latency and jitter;
+// the paper reports jitter as the variability of the round-trip time, which
+// we report as the standard deviation.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+  void reset();
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores every sample (experiments are bounded, typically 10k requests as in
+// the paper) and answers arbitrary percentile queries.
+class Sampler {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return samples_.size(); }
+  [[nodiscard]] double percentile(double p) const;  // p in [0,100]
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] const RunningStats& stats() const { return stats_; }
+  // Raw samples (order unspecified); used when merging samplers.
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  void merge(const Sampler& other) {
+    for (double x : other.samples_) add(x);
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  RunningStats stats_;
+};
+
+// Fixed-bucket histogram over [lo, hi); out-of-range values clamp to the edge
+// buckets. Used for latency distributions in reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Events-per-second estimator over a sliding time window. This is the
+// "request arrival rate observed at the server" signal that drives the
+// adaptive-replication policy of Fig. 6.
+class SlidingRate {
+ public:
+  explicit SlidingRate(SimTime window);
+
+  void record(SimTime now);           // one event at `now`
+  [[nodiscard]] double rate(SimTime now);  // events/sec over the window ending at `now`
+  [[nodiscard]] SimTime window() const { return window_; }
+
+ private:
+  void evict(SimTime now);
+
+  SimTime window_;
+  std::deque<SimTime> events_;
+};
+
+// Exponentially-weighted moving average with a configurable smoothing factor;
+// used for smoothed latency signals in contracts.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool has_value() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace vdep

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "adaptive/adaptation_manager.hpp"
+#include "adaptive/contract.hpp"
+#include "adaptive/policy.hpp"
+#include "adaptive/switch_protocol.hpp"
+#include "harness/scenario.hpp"
+
+namespace vdep::adaptive {
+namespace {
+
+using replication::ReplicationStyle;
+
+TEST(RateThresholdPolicy, SwitchesUpAndDownWithHysteresis) {
+  RateThresholdPolicy::Config config;
+  config.low_rate = 300;
+  config.high_rate = 600;
+  config.min_dwell = msec(100);
+  RateThresholdPolicy policy(config);
+
+  Signals s;
+  s.now = msec(0);
+  s.request_rate = 450;  // between thresholds: no opinion
+  EXPECT_FALSE(policy.evaluate(s).has_value());
+
+  s.now = msec(10);
+  s.request_rate = 700;
+  auto up = policy.evaluate(s);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(*up, ReplicationStyle::kActive);
+
+  // Still high: no repeated advice.
+  s.now = msec(200);
+  EXPECT_FALSE(policy.evaluate(s).has_value());
+
+  s.now = msec(400);
+  s.request_rate = 100;
+  auto down = policy.evaluate(s);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(*down, ReplicationStyle::kWarmPassive);
+}
+
+TEST(ModePolicy, FollowsModeChanges) {
+  ModePolicy policy;
+  Signals s;
+  EXPECT_EQ(policy.evaluate(s), ReplicationStyle::kWarmPassive);
+  policy.set_mode(ModePolicy::Mode::kMissionCritical);
+  EXPECT_EQ(policy.evaluate(s), ReplicationStyle::kActive);
+}
+
+TEST(Contract, SatisfactionBounds) {
+  Contract c;
+  c.max_latency_us = 7000;
+  c.max_bandwidth_mbps = 3.0;
+  c.min_faults_tolerated = 1;
+  EXPECT_TRUE(c.satisfied_by(5000, 2.0, 2));
+  EXPECT_FALSE(c.satisfied_by(8000, 2.0, 2));   // latency
+  EXPECT_FALSE(c.satisfied_by(5000, 3.5, 2));   // bandwidth
+  EXPECT_FALSE(c.satisfied_by(5000, 2.0, 0));   // fault tolerance
+  EXPECT_TRUE(c.satisfied_by(7000, 3.0, 1));    // boundaries inclusive
+}
+
+TEST(ContractMonitor, TransientViolationForgiven) {
+  ContractMonitor monitor(Contract{}, msec(100));
+  EXPECT_FALSE(monitor.observe(msec(0), 9000, 1.0, 1));  // violating
+  EXPECT_TRUE(monitor.observe(msec(50), 5000, 1.0, 1));  // recovered
+  EXPECT_EQ(monitor.degradations(), 0u);
+}
+
+TEST(ContractMonitor, SustainedViolationDegrades) {
+  Contract strict;
+  strict.name = "strict";
+  strict.max_latency_us = 2000;
+  Contract relaxed;
+  relaxed.name = "relaxed";
+  relaxed.max_latency_us = 10000;
+
+  ContractMonitor monitor(strict, msec(100));
+  monitor.add_degraded_alternative(relaxed);
+  std::string degraded_to;
+  monitor.set_on_degrade(
+      [&](const Contract&, const Contract& to) { degraded_to = to.name; });
+
+  (void)monitor.observe(msec(0), 5000, 1.0, 1);
+  (void)monitor.observe(msec(150), 5000, 1.0, 1);  // sustained -> degrade
+  EXPECT_EQ(degraded_to, "relaxed");
+  EXPECT_EQ(monitor.active().name, "relaxed");
+  EXPECT_TRUE(monitor.observe(msec(200), 5000, 1.0, 1));  // relaxed holds
+}
+
+TEST(ContractMonitor, ExhaustionNotifiesOperator) {
+  Contract only;
+  only.max_latency_us = 1000;
+  ContractMonitor monitor(only, msec(50));
+  bool notified = false;
+  monitor.set_on_exhausted([&](const Contract&) { notified = true; });
+  (void)monitor.observe(msec(0), 5000, 1.0, 0);
+  (void)monitor.observe(msec(100), 5000, 1.0, 0);
+  EXPECT_TRUE(notified);
+  EXPECT_TRUE(monitor.exhausted());
+}
+
+TEST(SwitchSummary, AggregatesHistory) {
+  std::vector<replication::Replicator::SwitchRecord> history{
+      {msec(100), msec(110), ReplicationStyle::kWarmPassive, ReplicationStyle::kActive},
+      {msec(200), msec(202), ReplicationStyle::kActive, ReplicationStyle::kWarmPassive},
+  };
+  const SwitchSummary s = summarize_switches(history);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.to_active, 1u);
+  EXPECT_EQ(s.to_passive, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_duration_us, 6000.0);
+  EXPECT_DOUBLE_EQ(s.max_duration_us, 10000.0);
+}
+
+TEST(SwitchValidation, CatchesMalformedHistories) {
+  using SR = replication::Replicator::SwitchRecord;
+  // Completed before initiated.
+  EXPECT_TRUE(validate_switch_history({SR{msec(10), msec(5),
+                                          ReplicationStyle::kWarmPassive,
+                                          ReplicationStyle::kActive}})
+                  .has_value());
+  // from == to.
+  EXPECT_TRUE(validate_switch_history({SR{msec(1), msec(2), ReplicationStyle::kActive,
+                                          ReplicationStyle::kActive}})
+                  .has_value());
+  // Discontinuous chain.
+  EXPECT_TRUE(validate_switch_history(
+                  {SR{msec(1), msec(2), ReplicationStyle::kWarmPassive,
+                      ReplicationStyle::kActive},
+                   SR{msec(3), msec(4), ReplicationStyle::kWarmPassive,
+                      ReplicationStyle::kActive}})
+                  .has_value());
+  // Valid chain.
+  EXPECT_FALSE(validate_switch_history(
+                   {SR{msec(1), msec(2), ReplicationStyle::kWarmPassive,
+                       ReplicationStyle::kActive},
+                    SR{msec(3), msec(4), ReplicationStyle::kActive,
+                       ReplicationStyle::kWarmPassive}})
+                   .has_value());
+}
+
+TEST(SwitchValidation, CatchesDisagreement) {
+  using SR = replication::Replicator::SwitchRecord;
+  std::vector<SR> a{{msec(1), msec(2), ReplicationStyle::kWarmPassive,
+                     ReplicationStyle::kActive}};
+  std::vector<SR> b{{msec(1), msec(2), ReplicationStyle::kWarmPassive,
+                     ReplicationStyle::kSemiActive}};
+  EXPECT_TRUE(validate_switch_agreement({a, b}).has_value());
+  EXPECT_FALSE(validate_switch_agreement({a, a}).has_value());
+  EXPECT_TRUE(validate_switch_agreement({a, {}}).has_value());  // count mismatch
+}
+
+// End-to-end: the adaptation manager drives the Fig. 6 behaviour.
+TEST(AdaptationManager, SwitchesStylesUnderBurstyLoad) {
+  harness::ScenarioConfig config;
+  config.clients = 2;
+  config.replicas = 3;
+  config.max_replicas = 3;
+  config.style = ReplicationStyle::kWarmPassive;
+  config.enable_replicated_state = true;
+  RateThresholdPolicy::Config policy;
+  policy.low_rate = 300;
+  policy.high_rate = 600;
+  config.adaptation = policy;
+  harness::Scenario scenario(config);
+
+  harness::Scenario::OpenLoopConfig open;
+  open.plan = app::RatePlan::fig6_burst(200, 1000, sec(3), 4);
+  open.duration = sec(12);
+  const auto result = scenario.run_open_loop(open);
+
+  // The style followed the bursts: at least one switch each way.
+  ASSERT_GE(result.switches.size(), 2u);
+  std::size_t to_active = 0;
+  std::size_t to_passive = 0;
+  for (const auto& rec : result.switches) {
+    if (rec.to == ReplicationStyle::kActive) ++to_active;
+    if (rec.to == ReplicationStyle::kWarmPassive) ++to_passive;
+  }
+  EXPECT_GE(to_active, 1u);
+  EXPECT_GE(to_passive, 1u);
+  EXPECT_EQ(validate_switch_history(result.switches), std::nullopt);
+  // The service kept serving throughout.
+  EXPECT_GT(result.totals.completed, 5000u);
+}
+
+}  // namespace
+}  // namespace vdep::adaptive

@@ -1,0 +1,132 @@
+// The replicated key-value store: servant semantics, snapshot/restore, and a
+// full end-to-end run on the replicated stack via the servant factory —
+// proving the replication API is application-agnostic.
+#include <gtest/gtest.h>
+
+#include "app/kv_store.hpp"
+#include "harness/scenario.hpp"
+
+namespace vdep::app {
+namespace {
+
+TEST(KvStore, PutGetEraseSemantics) {
+  KvStoreServant kv;
+  auto put1 = kv.invoke("put", KvStoreServant::encode_put("alpha", "1"));
+  ASSERT_TRUE(put1.ok);
+  EXPECT_FALSE(KvStoreServant::decode_flag(put1.output));  // fresh key
+
+  auto put2 = kv.invoke("put", KvStoreServant::encode_put("alpha", "2"));
+  EXPECT_TRUE(KvStoreServant::decode_flag(put2.output));  // overwrite
+
+  auto got = kv.invoke("get", KvStoreServant::encode_key("alpha"));
+  ASSERT_TRUE(got.ok);
+  auto g = KvStoreServant::decode_get(got.output);
+  EXPECT_TRUE(g.found);
+  EXPECT_EQ(g.value, "2");
+
+  auto missing = kv.invoke("get", KvStoreServant::encode_key("beta"));
+  EXPECT_FALSE(KvStoreServant::decode_get(missing.output).found);
+
+  auto erased = kv.invoke("erase", KvStoreServant::encode_key("alpha"));
+  EXPECT_TRUE(KvStoreServant::decode_flag(erased.output));
+  EXPECT_FALSE(KvStoreServant::decode_get(
+                   kv.invoke("get", KvStoreServant::encode_key("alpha")).output)
+                   .found);
+  EXPECT_EQ(kv.entries(), 0u);
+}
+
+TEST(KvStore, ReadsCheaperThanWrites) {
+  KvStoreServant kv;
+  const auto w = kv.invoke("put", KvStoreServant::encode_put("k", "v")).cpu_time;
+  const auto r = kv.invoke("get", KvStoreServant::encode_key("k")).cpu_time;
+  EXPECT_GT(w, r);
+}
+
+TEST(KvStore, MalformedAndUnknownOperationsFail) {
+  KvStoreServant kv;
+  EXPECT_FALSE(kv.invoke("put", Bytes{1, 2}).ok);  // truncated CDR
+  EXPECT_FALSE(kv.invoke("compare_and_swap", {}).ok);
+}
+
+TEST(KvStore, SnapshotRestoreAndDigest) {
+  KvStoreServant a;
+  (void)a.invoke("put", KvStoreServant::encode_put("x", "1"));
+  (void)a.invoke("put", KvStoreServant::encode_put("y", "2"));
+
+  KvStoreServant b;
+  EXPECT_NE(a.state_digest(), b.state_digest());
+  b.restore(a.snapshot());
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_EQ(b.entries(), 2u);
+  EXPECT_EQ(KvStoreServant::decode_get(
+                b.invoke("get", KvStoreServant::encode_key("y")).output)
+                .value,
+            "2");
+  // Digest is order-insensitive w.r.t. insertion (map-ordered).
+  KvStoreServant c;
+  (void)c.invoke("put", KvStoreServant::encode_put("y", "2"));
+  (void)c.invoke("put", KvStoreServant::encode_put("x", "1"));
+  EXPECT_EQ(a.state_digest(), c.state_digest());
+}
+
+TEST(KvStore, StateSizeTracksContent) {
+  KvStoreServant kv;
+  const auto empty = kv.state_size();
+  (void)kv.invoke("put", KvStoreServant::encode_put("key", std::string(100, 'v')));
+  EXPECT_GT(kv.state_size(), empty + 100);
+}
+
+// --- end-to-end on the replicated stack -------------------------------------
+
+TEST(KvStore, ReplicatedClusterSurvivesPrimaryCrash) {
+  harness::ScenarioConfig config;
+  config.clients = 1;
+  config.replicas = 3;
+  config.max_replicas = 3;
+  config.style = replication::ReplicationStyle::kWarmPassive;
+  config.make_servant = [](int) { return std::make_unique<KvStoreServant>(); };
+  harness::Scenario scenario(config);
+  scenario.fault_plan().crash_process(msec(700), scenario.replica_pid(0));
+  scenario.arm_faults();  // we drive the kernel manually: arm explicitly
+  scenario.kernel().run_until(msec(300));  // group forms
+
+  // The scenario's built-in drivers speak the micro-benchmark protocol, so
+  // drive typed KV operations through a hand-assembled client: a process, a
+  // client ORB, and a replicated (coordinator) transport — the same pieces
+  // an application would wire up.
+  sim::Process client_process(scenario.kernel(), ProcessId{7777}, NodeId{0},
+                              "kv-client");
+  orb::ClientOrb orb(scenario.network(), client_process);
+  orb.use_transport(std::make_unique<replication::ClientCoordinator>(
+      scenario.network(), scenario.daemon_on(NodeId{0}), client_process));
+
+  int replies = 0;
+  std::string read_back;
+  for (int i = 0; i < 200; ++i) {
+    scenario.kernel().post(msec(2) * i, [&, i] {
+      orb.invoke(scenario.object_ref(), "put",
+                 KvStoreServant::encode_put("key" + std::to_string(i),
+                                            "value" + std::to_string(i)),
+                 [&](orb::ReplyStatus status, Bytes) {
+                   if (status == orb::ReplyStatus::kNoException) ++replies;
+                 });
+    });
+  }
+  scenario.kernel().post_at(sec(2), [&] {
+    orb.invoke(scenario.object_ref(), "get", KvStoreServant::encode_key("key42"),
+               [&](orb::ReplyStatus, Bytes body) {
+                 read_back = KvStoreServant::decode_get(body).value;
+               });
+  });
+  scenario.kernel().run_until(sec(4));
+
+  EXPECT_EQ(replies, 200);
+  EXPECT_FALSE(scenario.replica_process(0).alive());  // the crash really fired
+  EXPECT_EQ(read_back, "value42");  // written before the crash, read after
+  // The promoted backup holds the full dataset.
+  auto& kv = dynamic_cast<KvStoreServant&>(scenario.app(1));
+  EXPECT_EQ(kv.entries(), 200u);
+}
+
+}  // namespace
+}  // namespace vdep::app

@@ -1,0 +1,301 @@
+// Unit tests for the leader-side protocol state machine (pure logic, no
+// network).
+#include <gtest/gtest.h>
+
+#include "gcs/membership.hpp"
+
+namespace vdep::gcs {
+namespace {
+
+const GroupId kGroup{1};
+const NodeId kLeader{0};
+const NodeId kD1{1};
+const NodeId kD2{2};
+const ProcessId kP1{10};
+const ProcessId kP2{20};
+
+Forward make_join(ProcessId p, NodeId daemon, std::uint64_t seq) {
+  Forward f;
+  f.group = kGroup;
+  f.kind = Forward::Kind::kJoin;
+  f.origin = OriginId{p, seq};
+  f.origin_daemon = daemon;
+  return f;
+}
+
+Forward make_data(ProcessId p, NodeId daemon, std::uint64_t seq,
+                  ServiceType svc = ServiceType::kAgreed) {
+  Forward f;
+  f.group = kGroup;
+  f.kind = Forward::Kind::kData;
+  f.svc = svc;
+  f.origin = OriginId{p, seq};
+  f.origin_daemon = daemon;
+  f.payload = filler_bytes(10);
+  return f;
+}
+
+template <typename T>
+std::vector<std::pair<NodeId, T>> collect(const LeaderState::Emissions& emissions) {
+  std::vector<std::pair<NodeId, T>> out;
+  for (const auto& e : emissions) {
+    if (const auto* m = std::get_if<T>(&e.msg)) out.push_back({e.to, *m});
+  }
+  return out;
+}
+
+TEST(LeaderState, JoinCreatesViewAndAcksForward) {
+  LeaderState leader(kLeader);
+  auto emissions = leader.handle_forward(make_join(kP1, kD1, 1));
+
+  auto views = collect<Ordered>(emissions);
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].first, kD1);
+  EXPECT_EQ(views[0].second.kind, Ordered::Kind::kView);
+  EXPECT_EQ(views[0].second.epoch, 1u);
+  EXPECT_EQ(views[0].second.seq, 0u);
+
+  auto acks = collect<FwdAck>(emissions);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].first, kD1);
+
+  auto view = leader.current_view(kGroup);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->contains(kP1));
+}
+
+TEST(LeaderState, SecondJoinBumpsEpochAndNotifiesBothDaemons) {
+  LeaderState leader(kLeader);
+  (void)leader.handle_forward(make_join(kP1, kD1, 1));
+  auto emissions = leader.handle_forward(make_join(kP2, kD2, 1));
+  auto views = collect<Ordered>(emissions);
+  ASSERT_EQ(views.size(), 2u);  // old daemon and new daemon
+  EXPECT_EQ(views[0].second.epoch, 2u);
+  EXPECT_EQ(leader.current_view(kGroup)->size(), 2u);
+}
+
+TEST(LeaderState, JoinIsIdempotent) {
+  LeaderState leader(kLeader);
+  (void)leader.handle_forward(make_join(kP1, kD1, 1));
+  auto emissions = leader.handle_forward(make_join(kP1, kD1, 2));
+  EXPECT_TRUE(collect<Ordered>(emissions).empty());
+  EXPECT_EQ(collect<FwdAck>(emissions).size(), 1u);  // still acked
+}
+
+TEST(LeaderState, DataOrderedToAllMemberDaemonsWithIncreasingSeqs) {
+  LeaderState leader(kLeader);
+  (void)leader.handle_forward(make_join(kP1, kD1, 1));
+  (void)leader.handle_forward(make_join(kP2, kD2, 1));
+
+  auto e1 = leader.handle_forward(make_data(kP1, kD1, 2));
+  auto e2 = leader.handle_forward(make_data(kP2, kD2, 2));
+  auto o1 = collect<Ordered>(e1);
+  auto o2 = collect<Ordered>(e2);
+  ASSERT_EQ(o1.size(), 2u);  // two member daemons
+  ASSERT_EQ(o2.size(), 2u);
+  EXPECT_EQ(o1[0].second.seq, 1u);
+  EXPECT_EQ(o2[0].second.seq, 2u);
+  EXPECT_EQ(o1[0].second.epoch, 2u);
+}
+
+TEST(LeaderState, DuplicateForwardDropsButReacks) {
+  LeaderState leader(kLeader);
+  (void)leader.handle_forward(make_join(kP1, kD1, 1));
+  (void)leader.handle_forward(make_data(kP1, kD1, 2));
+  auto dup = leader.handle_forward(make_data(kP1, kD1, 2));
+  EXPECT_TRUE(collect<Ordered>(dup).empty());
+  EXPECT_EQ(collect<FwdAck>(dup).size(), 1u);
+}
+
+TEST(LeaderState, NonMemberSenderAllowedOpenGroup) {
+  LeaderState leader(kLeader);
+  (void)leader.handle_forward(make_join(kP1, kD1, 1));
+  // kP2 on kD2 never joined; its data still gets ordered (client requests).
+  auto emissions = leader.handle_forward(make_data(kP2, kD2, 1));
+  auto ordered = collect<Ordered>(emissions);
+  ASSERT_EQ(ordered.size(), 1u);
+  EXPECT_EQ(ordered[0].first, kD1);  // member daemon only
+  auto acks = collect<FwdAck>(emissions);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].first, kD2);  // origin daemon learns it was handled
+}
+
+TEST(LeaderState, DataToEmptyGroupDroppedButAcked) {
+  LeaderState leader(kLeader);
+  auto emissions = leader.handle_forward(make_data(kP1, kD1, 1));
+  EXPECT_TRUE(collect<Ordered>(emissions).empty());
+  EXPECT_EQ(collect<FwdAck>(emissions).size(), 1u);
+}
+
+TEST(LeaderState, LeaveShrinksViewIdempotently) {
+  LeaderState leader(kLeader);
+  (void)leader.handle_forward(make_join(kP1, kD1, 1));
+  (void)leader.handle_forward(make_join(kP2, kD2, 1));
+  Forward leave;
+  leave.group = kGroup;
+  leave.kind = Forward::Kind::kLeave;
+  leave.origin = OriginId{kP1, 2};
+  leave.origin_daemon = kD1;
+  auto emissions = leader.handle_forward(leave);
+  auto views = collect<Ordered>(emissions);
+  ASSERT_EQ(views.size(), 2u);  // leaver's daemon and survivor's daemon
+  EXPECT_EQ(leader.current_view(kGroup)->size(), 1u);
+  EXPECT_FALSE(leader.current_view(kGroup)->contains(kP1));
+
+  leave.origin.seq = 3;
+  auto again = leader.handle_forward(leave);
+  EXPECT_TRUE(collect<Ordered>(again).empty());
+}
+
+TEST(LeaderState, StabilityPublishedOnTokenAfterAllAcks) {
+  LeaderState leader(kLeader);
+  (void)leader.handle_forward(make_join(kP1, kD1, 1));
+  (void)leader.handle_forward(make_join(kP2, kD2, 1));
+  (void)leader.handle_forward(make_data(kP1, kD1, 2));  // epoch 2, seq 1
+
+  // Only one daemon acked: nothing stable yet.
+  leader.handle_ack(OrdAck{kD1, kGroup, 2, 1});
+  auto none = leader.publish_stability();
+  EXPECT_TRUE(collect<StableMsg>(none).empty());
+
+  leader.handle_ack(OrdAck{kD2, kGroup, 2, 1});
+  auto published = leader.publish_stability();
+  auto stables = collect<StableMsg>(published);
+  ASSERT_EQ(stables.size(), 2u);
+  EXPECT_EQ(stables[0].second.upto, 2u);  // view + seq1 held everywhere
+
+  // Nothing new: token publishes nothing.
+  EXPECT_TRUE(leader.publish_stability().empty());
+}
+
+TEST(LeaderState, AckFromNonMemberDaemonIgnored) {
+  LeaderState leader(kLeader);
+  (void)leader.handle_forward(make_join(kP1, kD1, 1));
+  leader.handle_ack(OrdAck{kD2, kGroup, 1, 0});  // kD2 not a member daemon
+  EXPECT_TRUE(leader.publish_stability().empty());
+}
+
+TEST(LeaderState, DaemonDeathRemovesItsProcessesAndUnblocksStability) {
+  LeaderState leader(kLeader);
+  (void)leader.handle_forward(make_join(kP1, kD1, 1));
+  (void)leader.handle_forward(make_join(kP2, kD2, 1));
+  (void)leader.handle_forward(make_data(kP1, kD1, 2));
+  leader.handle_ack(OrdAck{kD1, kGroup, 2, 1});
+  // kD2 never acks and then dies.
+  auto emissions = leader.handle_daemon_death(kD2);
+  auto views = collect<Ordered>(emissions);
+  ASSERT_GE(views.size(), 1u);
+  EXPECT_FALSE(leader.current_view(kGroup)->contains(kP2));
+  // No emission goes to the dead daemon.
+  for (const auto& e : emissions) EXPECT_NE(e.to, kD2);
+  // With kD2 out of the must-ack set, stability advances on the next token.
+  auto published = leader.publish_stability();
+  EXPECT_FALSE(collect<StableMsg>(published).empty());
+}
+
+TEST(LeaderState, BootstrapRebuildsFromSyncStates) {
+  // Simulate: old leader ordered up to (epoch 2, seq 2); daemons hold
+  // unstable copies; one pending forward never got ordered.
+  View v;
+  v.group = kGroup;
+  v.view_id = 2;
+  v.members = {{kP1, kD1}, {kP2, kD2}};
+
+  Ordered data;
+  data.group = kGroup;
+  data.epoch = 2;
+  data.seq = 1;
+  data.kind = Ordered::Kind::kData;
+  data.origin = OriginId{kP1, 5};
+  data.origin_daemon = kD1;
+  data.payload = filler_bytes(4);
+
+  SyncState s1;
+  s1.term = 1;
+  s1.from = kD1;
+  s1.views = {v};
+  s1.buffered = {data};
+  s1.acks = {OrdAck{kD1, kGroup, 2, 1}};
+
+  SyncState s2;
+  s2.term = 1;
+  s2.from = kD2;
+  s2.views = {v};
+  s2.acks = {OrdAck{kD2, kGroup, 2, 0}};  // kD2 missed seq 1
+  Forward pending = make_data(kP2, kD2, 7);
+  s2.pending = {pending};
+
+  LeaderState leader(kD1);
+  auto emissions = leader.bootstrap({s1, s2}, {kD1, kD2});
+
+  // The unstable message is replayed, a fresh view (epoch 3) installed, and
+  // the pending forward ordered in the new epoch.
+  auto ordered = collect<Ordered>(emissions);
+  bool replayed = false;
+  bool new_view = false;
+  bool pending_ordered = false;
+  for (const auto& [to, o] : ordered) {
+    if (o.epoch == 2 && o.seq == 1 && o.kind == Ordered::Kind::kData) replayed = true;
+    if (o.kind == Ordered::Kind::kView && o.epoch == 3) new_view = true;
+    if (o.epoch == 3 && o.kind == Ordered::Kind::kData &&
+        o.origin == (OriginId{kP2, 7})) {
+      pending_ordered = true;
+    }
+  }
+  EXPECT_TRUE(replayed);
+  EXPECT_TRUE(new_view);
+  EXPECT_TRUE(pending_ordered);
+  EXPECT_EQ(leader.current_view(kGroup)->view_id, 3u);
+}
+
+TEST(LeaderState, BootstrapDropsProcessesOnDeadDaemons) {
+  View v;
+  v.group = kGroup;
+  v.view_id = 1;
+  v.members = {{kP1, kD1}, {kP2, kD2}};
+  SyncState s1;
+  s1.term = 1;
+  s1.from = kD1;
+  s1.views = {v};
+
+  LeaderState leader(kD1);
+  (void)leader.bootstrap({s1}, {kD1});  // kD2 is dead
+  auto view = leader.current_view(kGroup);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->contains(kP1));
+  EXPECT_FALSE(view->contains(kP2));
+}
+
+TEST(LeaderState, BootstrapDedupBaselinePreventsReordering) {
+  // A buffered message with origin seq 5 must stop a replayed pending
+  // forward with seq <= 5 from being ordered again.
+  View v;
+  v.group = kGroup;
+  v.view_id = 1;
+  v.members = {{kP1, kD1}};
+  Ordered data;
+  data.group = kGroup;
+  data.epoch = 1;
+  data.seq = 1;
+  data.kind = Ordered::Kind::kData;
+  data.origin = OriginId{kP1, 5};
+  data.origin_daemon = kD1;
+
+  SyncState s1;
+  s1.term = 1;
+  s1.from = kD1;
+  s1.views = {v};
+  s1.buffered = {data};
+  s1.pending = {make_data(kP1, kD1, 5)};  // same origin seq: duplicate
+
+  LeaderState leader(kD1);
+  auto emissions = leader.bootstrap({s1}, {kD1});
+  int new_epoch_data = 0;
+  for (const auto& [to, o] : collect<Ordered>(emissions)) {
+    if (o.kind == Ordered::Kind::kData && o.epoch == 2) ++new_epoch_data;
+  }
+  EXPECT_EQ(new_epoch_data, 0);
+}
+
+}  // namespace
+}  // namespace vdep::gcs

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "gcs/ordering.hpp"
+
+namespace vdep::gcs {
+namespace {
+
+const GroupId kGroup{1};
+const NodeId kSelf{0};
+
+Ordered make_view_msg(std::uint64_t epoch, std::vector<ProcessId> members,
+                      std::uint64_t prev_epoch_end = 0) {
+  View v;
+  v.group = kGroup;
+  v.view_id = epoch;
+  for (ProcessId p : members) v.members.push_back(Member{p, kSelf});
+  Ordered o;
+  o.group = kGroup;
+  o.epoch = epoch;
+  o.seq = 0;
+  o.kind = Ordered::Kind::kView;
+  o.payload = v.encode();
+  o.prev_epoch_end = prev_epoch_end;
+  return o;
+}
+
+Ordered make_data(std::uint64_t epoch, std::uint64_t seq,
+                  ServiceType svc = ServiceType::kAgreed) {
+  Ordered o;
+  o.group = kGroup;
+  o.epoch = epoch;
+  o.seq = seq;
+  o.kind = Ordered::Kind::kData;
+  o.svc = svc;
+  o.origin = OriginId{ProcessId{1}, seq};
+  o.payload = filler_bytes(16);
+  return o;
+}
+
+TEST(GroupReceiveBuffer, AnchorsOnFirstViewThenDeliversInOrder) {
+  GroupReceiveBuffer buf(kGroup);
+  EXPECT_FALSE(buf.anchored());
+
+  (void)buf.offer(make_data(1, 2), kSelf);  // out of order, before the view
+  (void)buf.offer(make_view_msg(1, {ProcessId{1}}), kSelf);
+  (void)buf.offer(make_data(1, 1), kSelf);
+
+  auto out = buf.take_deliverable();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].kind, Ordered::Kind::kView);
+  EXPECT_EQ(out[1].seq, 1u);
+  EXPECT_EQ(out[2].seq, 2u);
+  EXPECT_TRUE(buf.anchored());
+  EXPECT_TRUE(buf.last_delivered_view().has_value());
+}
+
+TEST(GroupReceiveBuffer, GapsBlockDelivery) {
+  GroupReceiveBuffer buf(kGroup);
+  (void)buf.offer(make_view_msg(1, {ProcessId{1}}), kSelf);
+  (void)buf.offer(make_data(1, 2), kSelf);  // gap at seq 1
+  auto out = buf.take_deliverable();
+  ASSERT_EQ(out.size(), 1u);  // just the view
+  (void)buf.offer(make_data(1, 1), kSelf);
+  out = buf.take_deliverable();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 1u);
+  EXPECT_EQ(out[1].seq, 2u);
+}
+
+TEST(GroupReceiveBuffer, DuplicatesRejected) {
+  GroupReceiveBuffer buf(kGroup);
+  (void)buf.offer(make_view_msg(1, {ProcessId{1}}), kSelf);
+  auto first = buf.offer(make_data(1, 1), kSelf);
+  EXPECT_TRUE(first.accepted);
+  auto dup = buf.offer(make_data(1, 1), kSelf);
+  EXPECT_FALSE(dup.accepted);
+  (void)buf.take_deliverable();
+  auto late_dup = buf.offer(make_data(1, 1), kSelf);  // after delivery too
+  EXPECT_FALSE(late_dup.accepted);
+}
+
+TEST(GroupReceiveBuffer, AcksAreCumulativePerEpoch) {
+  GroupReceiveBuffer buf(kGroup);
+  auto r0 = buf.offer(make_view_msg(1, {ProcessId{1}}), kSelf);
+  ASSERT_TRUE(r0.ack.has_value());
+  EXPECT_EQ(r0.ack->seq, 0u);  // contiguous through the view
+
+  auto r2 = buf.offer(make_data(1, 2), kSelf);
+  EXPECT_TRUE(r2.accepted);
+  ASSERT_TRUE(r2.ack.has_value());
+  EXPECT_EQ(r2.ack->seq, 0u);  // still gap at 1
+
+  auto r1 = buf.offer(make_data(1, 1), kSelf);
+  ASSERT_TRUE(r1.ack.has_value());
+  EXPECT_EQ(r1.ack->seq, 2u);  // contiguity jumped to 2
+}
+
+TEST(GroupReceiveBuffer, SafeMessagesWaitForStability) {
+  GroupReceiveBuffer buf(kGroup);
+  (void)buf.offer(make_view_msg(1, {ProcessId{1}}), kSelf);
+  (void)buf.offer(make_data(1, 1, ServiceType::kSafe), kSelf);
+  (void)buf.offer(make_data(1, 2), kSelf);  // agreed, behind the safe one
+
+  auto out = buf.take_deliverable();
+  ASSERT_EQ(out.size(), 1u);  // only the view; SAFE gates the stream
+
+  buf.set_stable(1, 2);  // counts: view + seq1 stable
+  out = buf.take_deliverable();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].svc, ServiceType::kSafe);
+  EXPECT_EQ(out[1].seq, 2u);
+}
+
+TEST(GroupReceiveBuffer, EpochTransitionRequiresPrevEpochComplete) {
+  GroupReceiveBuffer buf(kGroup);
+  (void)buf.offer(make_view_msg(1, {ProcessId{1}}), kSelf);
+  (void)buf.offer(make_data(1, 1), kSelf);
+  // View 2 claims epoch 1 ended at seq 2 — seq 2 not yet received.
+  (void)buf.offer(make_view_msg(2, {ProcessId{1}}, 2), kSelf);
+  auto out = buf.take_deliverable();
+  ASSERT_EQ(out.size(), 2u);  // view1 + seq1; blocked before view2
+  (void)buf.offer(make_data(1, 2), kSelf);
+  out = buf.take_deliverable();
+  ASSERT_EQ(out.size(), 2u);  // seq2 then view2
+  EXPECT_EQ(out[0].seq, 2u);
+  EXPECT_EQ(out[1].kind, Ordered::Kind::kView);
+  EXPECT_EQ(buf.current_epoch(), 2u);
+}
+
+TEST(GroupReceiveBuffer, EmptyEpochTransition) {
+  GroupReceiveBuffer buf(kGroup);
+  (void)buf.offer(make_view_msg(1, {ProcessId{1}}), kSelf);
+  (void)buf.take_deliverable();
+  (void)buf.offer(make_view_msg(2, {ProcessId{1}}, 0), kSelf);  // epoch 1 had no data
+  auto out = buf.take_deliverable();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].epoch, 2u);
+}
+
+TEST(GroupReceiveBuffer, LateAnchorIgnoresOlderEpochs) {
+  GroupReceiveBuffer buf(kGroup);
+  // A daemon that joined at epoch 3 receives a takeover replay including
+  // older history; everything below the anchor is a duplicate by definition.
+  (void)buf.offer(make_data(2, 1), kSelf);
+  (void)buf.offer(make_view_msg(3, {ProcessId{1}}, 5), kSelf);
+  auto out = buf.take_deliverable();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].epoch, 3u);
+  auto old = buf.offer(make_data(2, 2), kSelf);
+  EXPECT_FALSE(old.accepted);
+}
+
+TEST(GroupReceiveBuffer, BufferRetainedUntilStableThenCollected) {
+  GroupReceiveBuffer buf(kGroup);
+  (void)buf.offer(make_view_msg(1, {ProcessId{1}}), kSelf);
+  (void)buf.offer(make_data(1, 1), kSelf);
+  (void)buf.take_deliverable();
+  // Delivered but not stable: still buffered for takeover replay.
+  EXPECT_EQ(buf.snapshot_buffered().size(), 2u);
+  buf.set_stable(1, 2);
+  EXPECT_TRUE(buf.snapshot_buffered().empty());
+}
+
+TEST(GroupReceiveBuffer, CurrentAcksReflectAllEpochs) {
+  GroupReceiveBuffer buf(kGroup);
+  (void)buf.offer(make_view_msg(1, {ProcessId{1}}), kSelf);
+  (void)buf.offer(make_data(1, 1), kSelf);
+  (void)buf.offer(make_view_msg(2, {ProcessId{1}}, 1), kSelf);
+  auto acks = buf.current_acks(kSelf);
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_EQ(acks[0].epoch, 1u);
+  EXPECT_EQ(acks[0].seq, 1u);
+  EXPECT_EQ(acks[1].epoch, 2u);
+  EXPECT_EQ(acks[1].seq, 0u);
+}
+
+TEST(GroupReceiveBuffer, StabilityPiggybackOnDuplicatesStillApplies) {
+  GroupReceiveBuffer buf(kGroup);
+  (void)buf.offer(make_view_msg(1, {ProcessId{1}}), kSelf);
+  auto safe = make_data(1, 1, ServiceType::kSafe);
+  (void)buf.offer(safe, kSelf);
+  (void)buf.take_deliverable();
+  // A duplicate arrives later carrying a fresher stability watermark.
+  safe.stable_upto = 2;
+  auto r = buf.offer(safe, kSelf);
+  EXPECT_FALSE(r.accepted);
+  auto out = buf.take_deliverable();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].svc, ServiceType::kSafe);
+}
+
+}  // namespace
+}  // namespace vdep::gcs

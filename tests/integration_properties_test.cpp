@@ -1,0 +1,166 @@
+// Property-style sweeps over seeds: the macroscopic invariants and paper
+// shapes must hold for every random seed, not just the default one.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+
+namespace vdep::harness {
+namespace {
+
+using replication::ReplicationStyle;
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, ActiveReplicasStayConsistentAndExactlyOnce) {
+  ScenarioConfig config;
+  config.seed = GetParam();
+  config.clients = 2;
+  config.replicas = 3;
+  config.max_replicas = 3;
+  config.style = ReplicationStyle::kActive;
+  Scenario scenario(config);
+
+  Scenario::CycleConfig cycle;
+  cycle.requests_per_client = 300;
+  cycle.warmup_requests = 20;
+  const auto result = scenario.run_closed_loop(cycle);
+
+  EXPECT_EQ(result.completed, 640u);
+  scenario.drain();
+  auto digests = scenario.live_state_digests();
+  ASSERT_EQ(digests.size(), 3u);
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[1], digests[2]);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(scenario.servant(i).counter(), 640u);
+}
+
+TEST_P(SeedSweep, WarmPassiveFailoverExactlyOnce) {
+  ScenarioConfig config;
+  config.seed = GetParam();
+  config.clients = 1;
+  config.replicas = 2;
+  config.max_replicas = 2;
+  config.style = ReplicationStyle::kWarmPassive;
+  Scenario scenario(config);
+  scenario.fault_plan().crash_process(msec(700), scenario.replica_pid(0));
+
+  Scenario::CycleConfig cycle;
+  cycle.requests_per_client = 500;
+  cycle.warmup_requests = 20;
+  cycle.max_duration = sec(120);
+  const auto result = scenario.run_closed_loop(cycle);
+  EXPECT_EQ(result.completed, 520u);
+  scenario.drain();
+  EXPECT_EQ(scenario.servant(1).counter(), 520u) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, PaperShapePassiveSlowerActiveHungrier) {
+  SweepConfig sweep;
+  sweep.seed = GetParam();
+  sweep.requests_per_client = 1500;
+  const auto active = run_design_point(sweep, ReplicationStyle::kActive, 3, 3);
+  const auto passive = run_design_point(sweep, ReplicationStyle::kWarmPassive, 3, 3);
+
+  // Fig. 7(a): passive pays checkpoint quiescence.
+  EXPECT_GT(passive.latency_us, active.latency_us * 1.4) << "seed " << GetParam();
+  // Fig. 7(b): active's request fan-out dominates passive's checkpoint
+  // stream at 3 clients.
+  EXPECT_GT(active.bandwidth_mbps, passive.bandwidth_mbps * 0.95)
+      << "seed " << GetParam();
+  // Jitter: checkpoint blackouts dominate (Fig. 4's tall error bar).
+  EXPECT_GT(passive.jitter_us, active.jitter_us) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 987654321u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(Determinism, IdenticalSeedsIdenticalResults) {
+  auto run_once = [](std::uint64_t seed) {
+    ScenarioConfig config;
+    config.seed = seed;
+    config.clients = 2;
+    config.replicas = 2;
+    config.style = ReplicationStyle::kWarmPassive;
+    Scenario scenario(config);
+    Scenario::CycleConfig cycle;
+    cycle.requests_per_client = 300;
+    cycle.warmup_requests = 20;
+    const auto r = scenario.run_closed_loop(cycle);
+    scenario.drain();
+    return std::make_tuple(r.avg_latency_us, r.bandwidth_mbps, r.completed,
+                           scenario.servant(0).state_digest());
+  };
+  EXPECT_EQ(run_once(99), run_once(99));
+  EXPECT_NE(std::get<0>(run_once(99)), std::get<0>(run_once(100)));
+}
+
+TEST(PaperShape, Figure3BreakdownBallpark) {
+  ScenarioConfig config;
+  config.clients = 1;
+  config.replicas = 1;
+  config.max_replicas = 1;
+  config.style = ReplicationStyle::kActive;
+  Scenario scenario(config);
+  Scenario::CycleConfig cycle;
+  cycle.requests_per_client = 2000;
+  const auto result = scenario.run_closed_loop(cycle);
+  // Paper Fig. 3: 1187 us total. Within 15%.
+  EXPECT_NEAR(result.avg_latency_us, 1187.0, 180.0);
+}
+
+TEST(PaperShape, Figure4InterceptionCheapReplicationCostly) {
+  auto run_mode = [](bool replicated, interpose::InterceptMode mode) {
+    ScenarioConfig config;
+    config.clients = 1;
+    config.replicas = 1;
+    config.max_replicas = 1;
+    config.replicated = replicated;
+    config.intercept = mode;
+    Scenario scenario(config);
+    Scenario::CycleConfig cycle;
+    cycle.requests_per_client = 800;
+    return scenario.run_closed_loop(cycle).avg_latency_us;
+  };
+  const double baseline = run_mode(false, interpose::InterceptMode::kNone);
+  const double both = run_mode(false, interpose::InterceptMode::kBoth);
+  const double active = run_mode(true, interpose::InterceptMode::kNone);
+
+  // Interception alone adds little; the replication path roughly doubles RTT.
+  EXPECT_LT(both, baseline * 1.25);
+  EXPECT_GT(both, baseline * 1.02);
+  EXPECT_GT(active, baseline * 1.7);
+}
+
+TEST(PaperShape, ScalabilityCrossoverNearThreeClients) {
+  // The decisive Table 2 shape: A(3) fits the 3 MB/s plane at 2 clients and
+  // breaks it at 3 — that bandwidth crossover is what flips the policy to
+  // warm passive.
+  SweepConfig sweep;
+  sweep.requests_per_client = 2500;
+  const auto a3_2 = run_design_point(sweep, ReplicationStyle::kActive, 3, 2);
+  const auto a3_3 = run_design_point(sweep, ReplicationStyle::kActive, 3, 3);
+  EXPECT_LT(a3_2.bandwidth_mbps, 3.0);
+  EXPECT_GT(a3_3.bandwidth_mbps, 3.0);
+}
+
+TEST(OpenLoop, ServesPlannedRate) {
+  ScenarioConfig config;
+  config.clients = 2;
+  config.replicas = 2;
+  config.style = ReplicationStyle::kActive;
+  Scenario scenario(config);
+  Scenario::OpenLoopConfig open;
+  open.plan = app::RatePlan::constant(400);
+  open.duration = sec(5);
+  const auto result = scenario.run_open_loop(open);
+  // ~2000 requests offered; active absorbs them all.
+  EXPECT_NEAR(static_cast<double>(result.totals.completed), 2000.0, 200.0);
+  EXPECT_LT(result.totals.avg_latency_us, 4000.0);
+}
+
+}  // namespace
+}  // namespace vdep::harness

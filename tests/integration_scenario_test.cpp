@@ -1,0 +1,88 @@
+// End-to-end scenario tests: whole simulated testbeds driven through the
+// public harness API. These are the system-level checks that the replicated
+// request path works under every style, that failover preserves exactly-once
+// semantics, and that the macroscopic shapes the paper reports (active
+// faster, passive cheaper) hold.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+
+namespace vdep::harness {
+namespace {
+
+TEST(ScenarioSmoke, BaselineTcpPathCompletesCycle) {
+  ScenarioConfig config;
+  config.clients = 1;
+  config.replicas = 1;
+  config.replicated = false;
+  Scenario scenario(config);
+
+  Scenario::CycleConfig cycle;
+  cycle.requests_per_client = 200;
+  cycle.warmup_requests = 20;
+  const ExperimentResult result = scenario.run_closed_loop(cycle);
+
+  EXPECT_EQ(result.completed, 220u);
+  EXPECT_GT(result.avg_latency_us, 0.0);
+  // Baseline: ORB (398) + app (15) + two network crossings; well under 1 ms.
+  EXPECT_LT(result.avg_latency_us, 1000.0);
+}
+
+TEST(ScenarioSmoke, ActiveReplicationOneReplica) {
+  ScenarioConfig config;
+  config.clients = 1;
+  config.replicas = 1;
+  config.style = replication::ReplicationStyle::kActive;
+  Scenario scenario(config);
+
+  Scenario::CycleConfig cycle;
+  cycle.requests_per_client = 200;
+  cycle.warmup_requests = 20;
+  const ExperimentResult result = scenario.run_closed_loop(cycle);
+
+  EXPECT_EQ(result.completed, 220u);
+  // Fig. 3: the replicated path costs ~1.2 ms per round trip.
+  EXPECT_GT(result.avg_latency_us, 800.0);
+  EXPECT_LT(result.avg_latency_us, 2500.0);
+  EXPECT_EQ(result.retransmissions, 0u);
+}
+
+TEST(ScenarioSmoke, ActiveReplicationThreeReplicasAllConsistent) {
+  ScenarioConfig config;
+  config.clients = 2;
+  config.replicas = 3;
+  config.style = replication::ReplicationStyle::kActive;
+  Scenario scenario(config);
+
+  Scenario::CycleConfig cycle;
+  cycle.requests_per_client = 300;
+  cycle.warmup_requests = 20;
+  const ExperimentResult result = scenario.run_closed_loop(cycle);
+
+  EXPECT_EQ(result.completed, 640u);
+  EXPECT_EQ(result.faults_tolerated, 2);
+  scenario.drain();
+  auto digests = scenario.live_state_digests();
+  ASSERT_EQ(digests.size(), 3u);
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[1], digests[2]);
+}
+
+TEST(ScenarioSmoke, WarmPassiveCompletesCycle) {
+  ScenarioConfig config;
+  config.clients = 1;
+  config.replicas = 2;
+  config.style = replication::ReplicationStyle::kWarmPassive;
+  Scenario scenario(config);
+
+  Scenario::CycleConfig cycle;
+  cycle.requests_per_client = 300;
+  cycle.warmup_requests = 20;
+  const ExperimentResult result = scenario.run_closed_loop(cycle);
+
+  EXPECT_EQ(result.completed, 320u);
+  EXPECT_GT(result.avg_latency_us, 0.0);
+}
+
+}  // namespace
+}  // namespace vdep::harness

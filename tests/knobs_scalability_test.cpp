@@ -1,0 +1,153 @@
+// The scalability-knob policy synthesis, verified against the paper's own
+// published measurements: feeding Table 2's numbers (plus the configurations
+// the paper says were filtered out) through the 4-step rule must select
+// exactly the paper's policy.
+#include <gtest/gtest.h>
+
+#include "knobs/scalability.hpp"
+
+namespace vdep::knobs {
+namespace {
+
+using replication::ReplicationStyle;
+
+constexpr Configuration kA3{ReplicationStyle::kActive, 3};
+constexpr Configuration kA2{ReplicationStyle::kActive, 2};
+constexpr Configuration kA1{ReplicationStyle::kActive, 1};
+constexpr Configuration kP3{ReplicationStyle::kWarmPassive, 3};
+constexpr Configuration kP2{ReplicationStyle::kWarmPassive, 2};
+
+// A design-space map consistent with the paper's narrative: Table 2 rows are
+// the paper's exact measurements; the other entries are plausible values
+// that respect the paper's stated reasons for rejection (A(3) exceeds the
+// bandwidth plane from 3 clients on; no 3-replica configuration meets the
+// requirements at 5 clients).
+DesignSpaceMap paper_map() {
+  DesignSpaceMap map;
+  auto add = [&map](Configuration c, int n, double lat, double bw) {
+    map.add({c, n, lat, 0.0, bw, 0.0, c.replicas - 1});
+  };
+  // 1 client.
+  add(kA3, 1, 1245.8, 1.074);   // Table 2
+  add(kP3, 1, 2500.0, 1.40);
+  add(kA2, 1, 1200.0, 0.85);
+  add(kP2, 1, 2400.0, 1.10);
+  add(kA1, 1, 1150.0, 0.45);
+  // 2 clients.
+  add(kA3, 2, 1457.2, 2.032);   // Table 2
+  add(kP3, 2, 3700.0, 1.65);
+  add(kA2, 2, 1400.0, 1.55);
+  add(kP2, 2, 3500.0, 1.35);
+  add(kA1, 2, 1350.0, 0.90);
+  // 3 clients: A(3) violates the 3 MB/s plane.
+  add(kA3, 3, 1700.0, 3.25);
+  add(kP3, 3, 4966.0, 1.887);   // Table 2
+  add(kA2, 3, 1650.0, 2.30);
+  add(kP2, 3, 4800.0, 1.60);
+  add(kA1, 3, 1600.0, 1.30);
+  // 4 clients.
+  add(kA3, 4, 2000.0, 4.20);
+  add(kP3, 4, 6141.1, 2.315);   // Table 2
+  add(kA2, 4, 1950.0, 3.05);    // also over the plane now
+  add(kP2, 4, 5900.0, 1.95);
+  add(kA1, 4, 1900.0, 1.70);
+  // 5 clients: no 3-replica configuration fits; P(2) is chosen.
+  add(kA3, 5, 2400.0, 5.20);
+  add(kP3, 5, 7400.0, 2.70);    // over the latency plane
+  add(kA2, 5, 2300.0, 3.70);
+  add(kP2, 5, 6006.2, 2.799);   // Table 2
+  add(kA1, 5, 2200.0, 2.10);
+  return map;
+}
+
+TEST(ScalabilityPolicy, ReproducesPaperTable2Selections) {
+  ScalabilityRequirements requirements;  // paper defaults: 7000 us, 3 MB/s, p=0.5
+  const ScalabilityPolicy policy =
+      synthesize_scalability_policy(paper_map(), requirements);
+
+  ASSERT_EQ(policy.entries.size(), 5u);
+  EXPECT_TRUE(policy.infeasible_clients.empty());
+
+  const Configuration expected[] = {kA3, kA3, kP3, kP3, kP2};
+  const int expected_faults[] = {2, 2, 2, 2, 1};
+  const double expected_cost[] = {0.268, 0.443, 0.669, 0.825, 0.895};
+  for (int i = 0; i < 5; ++i) {
+    const PolicyEntry& e = policy.entries[i];
+    EXPECT_EQ(e.clients, i + 1);
+    EXPECT_EQ(e.config, expected[i]) << "Ncli=" << i + 1;
+    EXPECT_EQ(e.faults_tolerated, expected_faults[i]);
+    EXPECT_NEAR(e.cost, expected_cost[i], 0.002);
+  }
+  EXPECT_EQ(policy.max_supported_clients(), 5);
+}
+
+TEST(ScalabilityPolicy, FaultToleranceBeatsCost) {
+  // At 1 client, A(1) has by far the lowest cost but tolerates 0 faults; the
+  // rule prefers A(3) (2 faults) despite its higher cost.
+  const ScalabilityPolicy policy =
+      synthesize_scalability_policy(paper_map(), ScalabilityRequirements{});
+  auto e = policy.for_clients(1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->config, kA3);
+}
+
+TEST(ScalabilityPolicy, CostBreaksTiesAmongEqualFaultTolerance) {
+  // At 2 clients both A(3) and P(3) tolerate 2 faults and satisfy the
+  // planes; A(3) wins on cost (0.443 < 0.539).
+  const ScalabilityPolicy policy =
+      synthesize_scalability_policy(paper_map(), ScalabilityRequirements{});
+  auto e = policy.for_clients(2);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->config, kA3);
+  EXPECT_LT(e->cost, configuration_cost(3700.0, 1.65));
+}
+
+TEST(ScalabilityPolicy, TighterRequirementsShrinkSupport) {
+  ScalabilityRequirements tight;
+  tight.max_latency_us = 2000.0;  // passive styles all excluded
+  tight.max_bandwidth_mbps = 3.0;
+  tight.cost.latency_limit_us = 2000.0;
+  const ScalabilityPolicy policy = synthesize_scalability_policy(paper_map(), tight);
+  // 1-3 clients: active configurations fit; at 4-5 clients latency or
+  // bandwidth excludes everything but A(1)/A(2).
+  for (const auto& e : policy.entries) {
+    EXPECT_EQ(e.config.style, ReplicationStyle::kActive);
+    EXPECT_LE(e.latency_us, 2000.0);
+  }
+}
+
+TEST(ScalabilityPolicy, ImpossibleRequirementsReportInfeasible) {
+  ScalabilityRequirements impossible;
+  impossible.max_latency_us = 100.0;
+  const ScalabilityPolicy policy =
+      synthesize_scalability_policy(paper_map(), impossible);
+  EXPECT_TRUE(policy.entries.empty());
+  EXPECT_EQ(policy.infeasible_clients.size(), 5u);
+  EXPECT_EQ(policy.max_supported_clients(), 0);
+  EXPECT_FALSE(policy.for_clients(1).has_value());
+}
+
+TEST(ScalabilityKnob, AppliesPolicyThroughActuators) {
+  const ScalabilityPolicy policy =
+      synthesize_scalability_policy(paper_map(), ScalabilityRequirements{});
+  ReplicationStyle applied_style = ReplicationStyle::kActive;
+  int applied_replicas = 0;
+  ScalabilityKnob knob(policy, ScalabilityKnob::Actuators{
+                                   [&](ReplicationStyle s) { applied_style = s; },
+                                   [&](int n) { applied_replicas = n; }});
+
+  auto e = knob.apply(4);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(applied_style, ReplicationStyle::kWarmPassive);
+  EXPECT_EQ(applied_replicas, 3);
+  EXPECT_EQ(knob.current_clients(), 4);
+
+  // Unsupported count leaves the system untouched.
+  applied_replicas = 0;
+  EXPECT_FALSE(knob.apply(9).has_value());
+  EXPECT_EQ(applied_replicas, 0);
+  EXPECT_EQ(knob.current_clients(), 4);
+}
+
+}  // namespace
+}  // namespace vdep::knobs

@@ -1,0 +1,192 @@
+// Client/server ORB over the plain TCP transport (the baseline path), plus
+// POA routing and interception-only wrappers.
+#include <gtest/gtest.h>
+
+#include "interpose/interposer.hpp"
+#include "orb/orb_core.hpp"
+
+namespace vdep::orb {
+namespace {
+
+// Echo servant: returns its input reversed, with a configurable cpu time.
+struct EchoServant : Servant {
+  Result invoke(const std::string& operation, const Bytes& args) override {
+    ++invocations;
+    Result r;
+    r.cpu_time = usec(15);
+    if (operation == "echo") {
+      r.output = Bytes(args.rbegin(), args.rend());
+    } else if (operation == "boom") {
+      r.ok = false;
+    }
+    return r;
+  }
+  int invocations = 0;
+};
+
+struct OrbFixture : ::testing::Test {
+  OrbFixture() : kernel(1), network(kernel), channels(network) {
+    client_host = network.add_host("client");
+    server_host = network.add_host("server");
+    client_proc = std::make_unique<sim::Process>(kernel, ProcessId{1}, client_host, "c");
+    server_proc = std::make_unique<sim::Process>(kernel, ProcessId{2}, server_host, "s");
+    server_orb = std::make_unique<ServerOrb>(network, *server_proc, poa);
+    client_orb = std::make_unique<ClientOrb>(network, *client_proc);
+    poa.activate(ObjectId{1}, servant);
+  }
+
+  ObjectRef direct_ref() {
+    ObjectRef ref;
+    ref.object_key = ObjectId{1};
+    ref.direct = DirectProfile{server_host, 7000};
+    return ref;
+  }
+
+  void use_direct_transport() {
+    client_orb->use_transport(
+        std::make_unique<DirectClientTransport>(channels, client_host));
+  }
+
+  sim::Kernel kernel;
+  net::Network network;
+  net::ChannelManager channels;
+  NodeId client_host, server_host;
+  std::unique_ptr<sim::Process> client_proc, server_proc;
+  Poa poa;
+  EchoServant servant;
+  std::unique_ptr<ServerOrb> server_orb;
+  std::unique_ptr<ClientOrb> client_orb;
+};
+
+TEST_F(OrbFixture, InvokeRoundTrip) {
+  DirectServerAcceptor acceptor(channels, server_host, 7000, *server_orb);
+  use_direct_transport();
+
+  bool got = false;
+  client_orb->invoke(direct_ref(), "echo", Bytes{1, 2, 3},
+                     [&](ReplyStatus status, Bytes body) {
+                       got = true;
+                       EXPECT_EQ(status, ReplyStatus::kNoException);
+                       EXPECT_EQ(body, (Bytes{3, 2, 1}));
+                     });
+  kernel.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(servant.invocations, 1);
+  EXPECT_EQ(client_orb->outstanding(), 0u);
+}
+
+TEST_F(OrbFixture, RoundTripTimeMatchesCalibration) {
+  DirectServerAcceptor acceptor(channels, server_host, 7000, *server_orb);
+  use_direct_transport();
+  SimTime done = kTimeZero;
+  client_orb->invoke(direct_ref(), "echo", Bytes{1},
+                     [&](ReplyStatus, Bytes) { done = kernel.now(); });
+  kernel.run();
+  // 4 ORB traversals (398 us) + app (15 us) + 2 network crossings.
+  EXPECT_GT(to_usec(done), 550.0);
+  EXPECT_LT(to_usec(done), 750.0);
+}
+
+TEST_F(OrbFixture, UserExceptionPropagates) {
+  DirectServerAcceptor acceptor(channels, server_host, 7000, *server_orb);
+  use_direct_transport();
+  ReplyStatus got = ReplyStatus::kNoException;
+  client_orb->invoke(direct_ref(), "boom", {}, [&](ReplyStatus s, Bytes) { got = s; });
+  kernel.run();
+  EXPECT_EQ(got, ReplyStatus::kUserException);
+}
+
+TEST_F(OrbFixture, UnknownObjectKeyYieldsSystemException) {
+  DirectServerAcceptor acceptor(channels, server_host, 7000, *server_orb);
+  use_direct_transport();
+  ObjectRef ref = direct_ref();
+  ref.object_key = ObjectId{999};
+  ReplyStatus got = ReplyStatus::kNoException;
+  client_orb->invoke(ref, "echo", {}, [&](ReplyStatus s, Bytes) { got = s; });
+  kernel.run();
+  EXPECT_EQ(got, ReplyStatus::kSystemException);
+}
+
+TEST_F(OrbFixture, ConcurrentRequestsCorrelatedById) {
+  DirectServerAcceptor acceptor(channels, server_host, 7000, *server_orb);
+  use_direct_transport();
+  std::vector<int> replies;
+  for (int i = 0; i < 5; ++i) {
+    client_orb->invoke(direct_ref(), "echo", Bytes{static_cast<std::uint8_t>(i)},
+                       [&replies, i](ReplyStatus, Bytes body) {
+                         ASSERT_EQ(body.size(), 1u);
+                         EXPECT_EQ(body[0], i);
+                         replies.push_back(i);
+                       });
+  }
+  kernel.run();
+  EXPECT_EQ(replies.size(), 5u);
+}
+
+TEST_F(OrbFixture, CancelDropsPendingCallback) {
+  DirectServerAcceptor acceptor(channels, server_host, 7000, *server_orb);
+  use_direct_transport();
+  bool fired = false;
+  const std::uint32_t id =
+      client_orb->invoke(direct_ref(), "echo", Bytes{1}, [&](ReplyStatus, Bytes) {
+        fired = true;
+      });
+  client_orb->cancel(id);
+  kernel.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(servant.invocations, 1);  // server still executed
+}
+
+TEST_F(OrbFixture, PoaActivateDeactivate) {
+  EXPECT_EQ(poa.active_count(), 1u);
+  EXPECT_EQ(poa.find(ObjectId{1}), &servant);
+  poa.deactivate(ObjectId{1});
+  EXPECT_EQ(poa.find(ObjectId{1}), nullptr);
+  EXPECT_EQ(poa.active_count(), 0u);
+}
+
+TEST_F(OrbFixture, InterceptOnlyTransportsAddCostNotBehaviour) {
+  interpose::InterceptOnlyServerAcceptor acceptor(channels, server_host, 7000,
+                                                  *server_orb);
+  client_orb->use_transport(std::make_unique<interpose::InterceptOnlyClientTransport>(
+      network, *client_proc,
+      std::make_unique<DirectClientTransport>(channels, client_host)));
+
+  SimTime done = kTimeZero;
+  Bytes body_out;
+  client_orb->invoke(direct_ref(), "echo", Bytes{5, 6},
+                     [&](ReplyStatus status, Bytes body) {
+                       EXPECT_EQ(status, ReplyStatus::kNoException);
+                       body_out = std::move(body);
+                       done = kernel.now();
+                     });
+  kernel.run();
+  EXPECT_EQ(body_out, (Bytes{6, 5}));
+  // Both sides intercepted: 4 trampoline costs on top of the baseline.
+  EXPECT_GT(to_usec(done), 600.0 + 4 * to_usec(calib::kInterceptOnlyTraversal) - 60);
+}
+
+TEST_F(OrbFixture, LargePayloadRoundTrip) {
+  DirectServerAcceptor acceptor(channels, server_host, 7000, *server_orb);
+  use_direct_transport();
+  const Bytes big = filler_bytes(50000);
+  Bytes got;
+  client_orb->invoke(direct_ref(), "echo", big,
+                     [&](ReplyStatus, Bytes body) { got = std::move(body); });
+  kernel.run();
+  EXPECT_EQ(got, Bytes(big.rbegin(), big.rend()));
+}
+
+TEST_F(OrbFixture, CrashedClientIgnoresLateReply) {
+  DirectServerAcceptor acceptor(channels, server_host, 7000, *server_orb);
+  use_direct_transport();
+  bool fired = false;
+  client_orb->invoke(direct_ref(), "echo", Bytes{1},
+                     [&](ReplyStatus, Bytes) { fired = true; });
+  kernel.post(usec(200), [&] { client_proc->crash(); });
+  kernel.run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace vdep::orb

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "sim/cpu.hpp"
+
+namespace vdep::sim {
+namespace {
+
+TEST(Cpu, SerializesWorkFifo) {
+  Kernel k(1);
+  Cpu cpu(k, NodeId{0});
+  std::vector<std::pair<int, SimTime>> done;
+  cpu.execute(usec(10), [&] { done.push_back({1, k.now()}); });
+  cpu.execute(usec(5), [&] { done.push_back({2, k.now()}); });
+  k.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, 1);
+  EXPECT_EQ(done[0].second, usec(10));
+  EXPECT_EQ(done[1].first, 2);
+  EXPECT_EQ(done[1].second, usec(15));  // queued behind the first job
+}
+
+TEST(Cpu, IdleGapsDoNotAccumulate) {
+  Kernel k(1);
+  Cpu cpu(k, NodeId{0});
+  SimTime completed = kTimeZero;
+  k.post(usec(100), [&] {
+    cpu.execute(usec(10), [&] { completed = k.now(); });
+  });
+  k.run();
+  EXPECT_EQ(completed, usec(110));  // starts at 100, not at backlog of 0
+}
+
+TEST(Cpu, BacklogReflectsQueuedWork) {
+  Kernel k(1);
+  Cpu cpu(k, NodeId{0});
+  cpu.execute(usec(30), [] {});
+  cpu.execute(usec(20), [] {});
+  EXPECT_EQ(cpu.backlog(), usec(50));
+  k.run_until(usec(30));
+  EXPECT_EQ(cpu.backlog(), usec(20));
+}
+
+TEST(Cpu, UtilizationTracksBusyFraction) {
+  Kernel k(1);
+  Cpu cpu(k, NodeId{0});
+  cpu.execute(usec(50), [] {});
+  k.run_until(usec(100));
+  EXPECT_NEAR(cpu.utilization(), 0.5, 1e-9);
+}
+
+TEST(Cpu, LoadSinceLastSampleWindows) {
+  Kernel k(1);
+  Cpu cpu(k, NodeId{0});
+  cpu.execute(usec(10), [] {});
+  k.run_until(usec(100));
+  EXPECT_NEAR(cpu.load_since_last_sample(), 0.1, 1e-9);
+  // Second window: idle.
+  k.run_until(usec(200));
+  EXPECT_NEAR(cpu.load_since_last_sample(), 0.0, 1e-9);
+}
+
+TEST(Cpu, JobsCompletedCounts) {
+  Kernel k(1);
+  Cpu cpu(k, NodeId{0});
+  for (int i = 0; i < 5; ++i) cpu.execute(usec(1), [] {});
+  k.run();
+  EXPECT_EQ(cpu.jobs_completed(), 5u);
+}
+
+TEST(Cpu, SlowdownStretchesWork) {
+  Kernel k(1);
+  Cpu cpu(k, NodeId{0});
+  cpu.set_slowdown(3.0);
+  SimTime done = kTimeZero;
+  cpu.execute(usec(10), [&] { done = k.now(); });
+  k.run();
+  EXPECT_EQ(done, usec(30));
+  // Restoring nominal speed affects only subsequent work.
+  cpu.set_slowdown(1.0);
+  cpu.execute(usec(10), [&] { done = k.now(); });
+  k.run();
+  EXPECT_EQ(done, usec(40));
+}
+
+TEST(Cpu, ZeroDurationWorkCompletesImmediately) {
+  Kernel k(1);
+  Cpu cpu(k, NodeId{0});
+  bool done = false;
+  cpu.execute(kTimeZero, [&] { done = true; });
+  k.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(k.now(), kTimeZero);
+}
+
+}  // namespace
+}  // namespace vdep::sim
