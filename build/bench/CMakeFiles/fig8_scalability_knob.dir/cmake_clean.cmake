@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scalability_knob.dir/fig8_scalability_knob.cpp.o"
+  "CMakeFiles/fig8_scalability_knob.dir/fig8_scalability_knob.cpp.o.d"
+  "fig8_scalability_knob"
+  "fig8_scalability_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scalability_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_modes.dir/mission_modes.cpp.o"
+  "CMakeFiles/mission_modes.dir/mission_modes.cpp.o.d"
+  "mission_modes"
+  "mission_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

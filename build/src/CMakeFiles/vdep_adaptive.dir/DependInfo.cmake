@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/adaptation_manager.cpp" "src/CMakeFiles/vdep_adaptive.dir/adaptive/adaptation_manager.cpp.o" "gcc" "src/CMakeFiles/vdep_adaptive.dir/adaptive/adaptation_manager.cpp.o.d"
+  "/root/repo/src/adaptive/contract.cpp" "src/CMakeFiles/vdep_adaptive.dir/adaptive/contract.cpp.o" "gcc" "src/CMakeFiles/vdep_adaptive.dir/adaptive/contract.cpp.o.d"
+  "/root/repo/src/adaptive/policy.cpp" "src/CMakeFiles/vdep_adaptive.dir/adaptive/policy.cpp.o" "gcc" "src/CMakeFiles/vdep_adaptive.dir/adaptive/policy.cpp.o.d"
+  "/root/repo/src/adaptive/switch_protocol.cpp" "src/CMakeFiles/vdep_adaptive.dir/adaptive/switch_protocol.cpp.o" "gcc" "src/CMakeFiles/vdep_adaptive.dir/adaptive/switch_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdep_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_adaptive.dir/adaptive/adaptation_manager.cpp.o"
+  "CMakeFiles/vdep_adaptive.dir/adaptive/adaptation_manager.cpp.o.d"
+  "CMakeFiles/vdep_adaptive.dir/adaptive/contract.cpp.o"
+  "CMakeFiles/vdep_adaptive.dir/adaptive/contract.cpp.o.d"
+  "CMakeFiles/vdep_adaptive.dir/adaptive/policy.cpp.o"
+  "CMakeFiles/vdep_adaptive.dir/adaptive/policy.cpp.o.d"
+  "CMakeFiles/vdep_adaptive.dir/adaptive/switch_protocol.cpp.o"
+  "CMakeFiles/vdep_adaptive.dir/adaptive/switch_protocol.cpp.o.d"
+  "libvdep_adaptive.a"
+  "libvdep_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_app.dir/app/kv_store.cpp.o"
+  "CMakeFiles/vdep_app.dir/app/kv_store.cpp.o.d"
+  "CMakeFiles/vdep_app.dir/app/test_app.cpp.o"
+  "CMakeFiles/vdep_app.dir/app/test_app.cpp.o.d"
+  "CMakeFiles/vdep_app.dir/app/workload.cpp.o"
+  "CMakeFiles/vdep_app.dir/app/workload.cpp.o.d"
+  "libvdep_app.a"
+  "libvdep_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcs/daemon.cpp" "src/CMakeFiles/vdep_gcs.dir/gcs/daemon.cpp.o" "gcc" "src/CMakeFiles/vdep_gcs.dir/gcs/daemon.cpp.o.d"
+  "/root/repo/src/gcs/endpoint.cpp" "src/CMakeFiles/vdep_gcs.dir/gcs/endpoint.cpp.o" "gcc" "src/CMakeFiles/vdep_gcs.dir/gcs/endpoint.cpp.o.d"
+  "/root/repo/src/gcs/failure_detector.cpp" "src/CMakeFiles/vdep_gcs.dir/gcs/failure_detector.cpp.o" "gcc" "src/CMakeFiles/vdep_gcs.dir/gcs/failure_detector.cpp.o.d"
+  "/root/repo/src/gcs/membership.cpp" "src/CMakeFiles/vdep_gcs.dir/gcs/membership.cpp.o" "gcc" "src/CMakeFiles/vdep_gcs.dir/gcs/membership.cpp.o.d"
+  "/root/repo/src/gcs/message.cpp" "src/CMakeFiles/vdep_gcs.dir/gcs/message.cpp.o" "gcc" "src/CMakeFiles/vdep_gcs.dir/gcs/message.cpp.o.d"
+  "/root/repo/src/gcs/ordering.cpp" "src/CMakeFiles/vdep_gcs.dir/gcs/ordering.cpp.o" "gcc" "src/CMakeFiles/vdep_gcs.dir/gcs/ordering.cpp.o.d"
+  "/root/repo/src/gcs/reliable_link.cpp" "src/CMakeFiles/vdep_gcs.dir/gcs/reliable_link.cpp.o" "gcc" "src/CMakeFiles/vdep_gcs.dir/gcs/reliable_link.cpp.o.d"
+  "/root/repo/src/gcs/vector_clock.cpp" "src/CMakeFiles/vdep_gcs.dir/gcs/vector_clock.cpp.o" "gcc" "src/CMakeFiles/vdep_gcs.dir/gcs/vector_clock.cpp.o.d"
+  "/root/repo/src/gcs/view.cpp" "src/CMakeFiles/vdep_gcs.dir/gcs/view.cpp.o" "gcc" "src/CMakeFiles/vdep_gcs.dir/gcs/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

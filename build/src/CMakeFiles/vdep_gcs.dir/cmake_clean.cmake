@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_gcs.dir/gcs/daemon.cpp.o"
+  "CMakeFiles/vdep_gcs.dir/gcs/daemon.cpp.o.d"
+  "CMakeFiles/vdep_gcs.dir/gcs/endpoint.cpp.o"
+  "CMakeFiles/vdep_gcs.dir/gcs/endpoint.cpp.o.d"
+  "CMakeFiles/vdep_gcs.dir/gcs/failure_detector.cpp.o"
+  "CMakeFiles/vdep_gcs.dir/gcs/failure_detector.cpp.o.d"
+  "CMakeFiles/vdep_gcs.dir/gcs/membership.cpp.o"
+  "CMakeFiles/vdep_gcs.dir/gcs/membership.cpp.o.d"
+  "CMakeFiles/vdep_gcs.dir/gcs/message.cpp.o"
+  "CMakeFiles/vdep_gcs.dir/gcs/message.cpp.o.d"
+  "CMakeFiles/vdep_gcs.dir/gcs/ordering.cpp.o"
+  "CMakeFiles/vdep_gcs.dir/gcs/ordering.cpp.o.d"
+  "CMakeFiles/vdep_gcs.dir/gcs/reliable_link.cpp.o"
+  "CMakeFiles/vdep_gcs.dir/gcs/reliable_link.cpp.o.d"
+  "CMakeFiles/vdep_gcs.dir/gcs/vector_clock.cpp.o"
+  "CMakeFiles/vdep_gcs.dir/gcs/vector_clock.cpp.o.d"
+  "CMakeFiles/vdep_gcs.dir/gcs/view.cpp.o"
+  "CMakeFiles/vdep_gcs.dir/gcs/view.cpp.o.d"
+  "libvdep_gcs.a"
+  "libvdep_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

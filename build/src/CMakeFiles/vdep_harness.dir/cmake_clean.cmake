@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/vdep_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/vdep_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/vdep_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/vdep_harness.dir/harness/scenario.cpp.o"
+  "CMakeFiles/vdep_harness.dir/harness/scenario.cpp.o.d"
+  "libvdep_harness.a"
+  "libvdep_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_interpose.dir/interpose/interposer.cpp.o"
+  "CMakeFiles/vdep_interpose.dir/interpose/interposer.cpp.o.d"
+  "libvdep_interpose.a"
+  "libvdep_interpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_interpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

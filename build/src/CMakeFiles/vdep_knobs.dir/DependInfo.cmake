@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knobs/availability.cpp" "src/CMakeFiles/vdep_knobs.dir/knobs/availability.cpp.o" "gcc" "src/CMakeFiles/vdep_knobs.dir/knobs/availability.cpp.o.d"
+  "/root/repo/src/knobs/cost.cpp" "src/CMakeFiles/vdep_knobs.dir/knobs/cost.cpp.o" "gcc" "src/CMakeFiles/vdep_knobs.dir/knobs/cost.cpp.o.d"
+  "/root/repo/src/knobs/design_space.cpp" "src/CMakeFiles/vdep_knobs.dir/knobs/design_space.cpp.o" "gcc" "src/CMakeFiles/vdep_knobs.dir/knobs/design_space.cpp.o.d"
+  "/root/repo/src/knobs/knob.cpp" "src/CMakeFiles/vdep_knobs.dir/knobs/knob.cpp.o" "gcc" "src/CMakeFiles/vdep_knobs.dir/knobs/knob.cpp.o.d"
+  "/root/repo/src/knobs/low_level.cpp" "src/CMakeFiles/vdep_knobs.dir/knobs/low_level.cpp.o" "gcc" "src/CMakeFiles/vdep_knobs.dir/knobs/low_level.cpp.o.d"
+  "/root/repo/src/knobs/scalability.cpp" "src/CMakeFiles/vdep_knobs.dir/knobs/scalability.cpp.o" "gcc" "src/CMakeFiles/vdep_knobs.dir/knobs/scalability.cpp.o.d"
+  "/root/repo/src/knobs/throughput.cpp" "src/CMakeFiles/vdep_knobs.dir/knobs/throughput.cpp.o" "gcc" "src/CMakeFiles/vdep_knobs.dir/knobs/throughput.cpp.o.d"
+  "/root/repo/src/knobs/versatile.cpp" "src/CMakeFiles/vdep_knobs.dir/knobs/versatile.cpp.o" "gcc" "src/CMakeFiles/vdep_knobs.dir/knobs/versatile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdep_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

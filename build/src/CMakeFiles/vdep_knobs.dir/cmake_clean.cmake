@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_knobs.dir/knobs/availability.cpp.o"
+  "CMakeFiles/vdep_knobs.dir/knobs/availability.cpp.o.d"
+  "CMakeFiles/vdep_knobs.dir/knobs/cost.cpp.o"
+  "CMakeFiles/vdep_knobs.dir/knobs/cost.cpp.o.d"
+  "CMakeFiles/vdep_knobs.dir/knobs/design_space.cpp.o"
+  "CMakeFiles/vdep_knobs.dir/knobs/design_space.cpp.o.d"
+  "CMakeFiles/vdep_knobs.dir/knobs/knob.cpp.o"
+  "CMakeFiles/vdep_knobs.dir/knobs/knob.cpp.o.d"
+  "CMakeFiles/vdep_knobs.dir/knobs/low_level.cpp.o"
+  "CMakeFiles/vdep_knobs.dir/knobs/low_level.cpp.o.d"
+  "CMakeFiles/vdep_knobs.dir/knobs/scalability.cpp.o"
+  "CMakeFiles/vdep_knobs.dir/knobs/scalability.cpp.o.d"
+  "CMakeFiles/vdep_knobs.dir/knobs/throughput.cpp.o"
+  "CMakeFiles/vdep_knobs.dir/knobs/throughput.cpp.o.d"
+  "CMakeFiles/vdep_knobs.dir/knobs/versatile.cpp.o"
+  "CMakeFiles/vdep_knobs.dir/knobs/versatile.cpp.o.d"
+  "libvdep_knobs.a"
+  "libvdep_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdep_knobs.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/bandwidth_meter.cpp" "src/CMakeFiles/vdep_monitor.dir/monitor/bandwidth_meter.cpp.o" "gcc" "src/CMakeFiles/vdep_monitor.dir/monitor/bandwidth_meter.cpp.o.d"
+  "/root/repo/src/monitor/metrics.cpp" "src/CMakeFiles/vdep_monitor.dir/monitor/metrics.cpp.o" "gcc" "src/CMakeFiles/vdep_monitor.dir/monitor/metrics.cpp.o.d"
+  "/root/repo/src/monitor/rate_estimator.cpp" "src/CMakeFiles/vdep_monitor.dir/monitor/rate_estimator.cpp.o" "gcc" "src/CMakeFiles/vdep_monitor.dir/monitor/rate_estimator.cpp.o.d"
+  "/root/repo/src/monitor/replicated_state.cpp" "src/CMakeFiles/vdep_monitor.dir/monitor/replicated_state.cpp.o" "gcc" "src/CMakeFiles/vdep_monitor.dir/monitor/replicated_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdep_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_monitor.dir/monitor/bandwidth_meter.cpp.o"
+  "CMakeFiles/vdep_monitor.dir/monitor/bandwidth_meter.cpp.o.d"
+  "CMakeFiles/vdep_monitor.dir/monitor/metrics.cpp.o"
+  "CMakeFiles/vdep_monitor.dir/monitor/metrics.cpp.o.d"
+  "CMakeFiles/vdep_monitor.dir/monitor/rate_estimator.cpp.o"
+  "CMakeFiles/vdep_monitor.dir/monitor/rate_estimator.cpp.o.d"
+  "CMakeFiles/vdep_monitor.dir/monitor/replicated_state.cpp.o"
+  "CMakeFiles/vdep_monitor.dir/monitor/replicated_state.cpp.o.d"
+  "libvdep_monitor.a"
+  "libvdep_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

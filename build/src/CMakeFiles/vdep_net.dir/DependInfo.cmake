@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/CMakeFiles/vdep_net.dir/net/channel.cpp.o" "gcc" "src/CMakeFiles/vdep_net.dir/net/channel.cpp.o.d"
+  "/root/repo/src/net/fault_plan.cpp" "src/CMakeFiles/vdep_net.dir/net/fault_plan.cpp.o" "gcc" "src/CMakeFiles/vdep_net.dir/net/fault_plan.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/vdep_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/vdep_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/vdep_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/vdep_net.dir/net/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

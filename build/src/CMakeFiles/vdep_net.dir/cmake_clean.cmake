@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_net.dir/net/channel.cpp.o"
+  "CMakeFiles/vdep_net.dir/net/channel.cpp.o.d"
+  "CMakeFiles/vdep_net.dir/net/fault_plan.cpp.o"
+  "CMakeFiles/vdep_net.dir/net/fault_plan.cpp.o.d"
+  "CMakeFiles/vdep_net.dir/net/link.cpp.o"
+  "CMakeFiles/vdep_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/vdep_net.dir/net/network.cpp.o"
+  "CMakeFiles/vdep_net.dir/net/network.cpp.o.d"
+  "libvdep_net.a"
+  "libvdep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

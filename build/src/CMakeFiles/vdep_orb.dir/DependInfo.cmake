@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orb/cdr.cpp" "src/CMakeFiles/vdep_orb.dir/orb/cdr.cpp.o" "gcc" "src/CMakeFiles/vdep_orb.dir/orb/cdr.cpp.o.d"
+  "/root/repo/src/orb/giop.cpp" "src/CMakeFiles/vdep_orb.dir/orb/giop.cpp.o" "gcc" "src/CMakeFiles/vdep_orb.dir/orb/giop.cpp.o.d"
+  "/root/repo/src/orb/orb_core.cpp" "src/CMakeFiles/vdep_orb.dir/orb/orb_core.cpp.o" "gcc" "src/CMakeFiles/vdep_orb.dir/orb/orb_core.cpp.o.d"
+  "/root/repo/src/orb/poa.cpp" "src/CMakeFiles/vdep_orb.dir/orb/poa.cpp.o" "gcc" "src/CMakeFiles/vdep_orb.dir/orb/poa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_orb.dir/orb/cdr.cpp.o"
+  "CMakeFiles/vdep_orb.dir/orb/cdr.cpp.o.d"
+  "CMakeFiles/vdep_orb.dir/orb/giop.cpp.o"
+  "CMakeFiles/vdep_orb.dir/orb/giop.cpp.o.d"
+  "CMakeFiles/vdep_orb.dir/orb/orb_core.cpp.o"
+  "CMakeFiles/vdep_orb.dir/orb/orb_core.cpp.o.d"
+  "CMakeFiles/vdep_orb.dir/orb/poa.cpp.o"
+  "CMakeFiles/vdep_orb.dir/orb/poa.cpp.o.d"
+  "libvdep_orb.a"
+  "libvdep_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/active.cpp" "src/CMakeFiles/vdep_replication.dir/replication/active.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/active.cpp.o.d"
+  "/root/repo/src/replication/checkpoint.cpp" "src/CMakeFiles/vdep_replication.dir/replication/checkpoint.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/checkpoint.cpp.o.d"
+  "/root/repo/src/replication/client_coordinator.cpp" "src/CMakeFiles/vdep_replication.dir/replication/client_coordinator.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/client_coordinator.cpp.o.d"
+  "/root/repo/src/replication/cold_passive.cpp" "src/CMakeFiles/vdep_replication.dir/replication/cold_passive.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/cold_passive.cpp.o.d"
+  "/root/repo/src/replication/hybrid.cpp" "src/CMakeFiles/vdep_replication.dir/replication/hybrid.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/hybrid.cpp.o.d"
+  "/root/repo/src/replication/message_log.cpp" "src/CMakeFiles/vdep_replication.dir/replication/message_log.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/message_log.cpp.o.d"
+  "/root/repo/src/replication/replicator.cpp" "src/CMakeFiles/vdep_replication.dir/replication/replicator.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/replicator.cpp.o.d"
+  "/root/repo/src/replication/reply_cache.cpp" "src/CMakeFiles/vdep_replication.dir/replication/reply_cache.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/reply_cache.cpp.o.d"
+  "/root/repo/src/replication/semi_active.cpp" "src/CMakeFiles/vdep_replication.dir/replication/semi_active.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/semi_active.cpp.o.d"
+  "/root/repo/src/replication/types.cpp" "src/CMakeFiles/vdep_replication.dir/replication/types.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/types.cpp.o.d"
+  "/root/repo/src/replication/warm_passive.cpp" "src/CMakeFiles/vdep_replication.dir/replication/warm_passive.cpp.o" "gcc" "src/CMakeFiles/vdep_replication.dir/replication/warm_passive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdep_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_replication.dir/replication/active.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/active.cpp.o.d"
+  "CMakeFiles/vdep_replication.dir/replication/checkpoint.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/checkpoint.cpp.o.d"
+  "CMakeFiles/vdep_replication.dir/replication/client_coordinator.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/client_coordinator.cpp.o.d"
+  "CMakeFiles/vdep_replication.dir/replication/cold_passive.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/cold_passive.cpp.o.d"
+  "CMakeFiles/vdep_replication.dir/replication/hybrid.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/hybrid.cpp.o.d"
+  "CMakeFiles/vdep_replication.dir/replication/message_log.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/message_log.cpp.o.d"
+  "CMakeFiles/vdep_replication.dir/replication/replicator.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/replicator.cpp.o.d"
+  "CMakeFiles/vdep_replication.dir/replication/reply_cache.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/reply_cache.cpp.o.d"
+  "CMakeFiles/vdep_replication.dir/replication/semi_active.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/semi_active.cpp.o.d"
+  "CMakeFiles/vdep_replication.dir/replication/types.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/types.cpp.o.d"
+  "CMakeFiles/vdep_replication.dir/replication/warm_passive.cpp.o"
+  "CMakeFiles/vdep_replication.dir/replication/warm_passive.cpp.o.d"
+  "libvdep_replication.a"
+  "libvdep_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/actor.cpp" "src/CMakeFiles/vdep_sim.dir/sim/actor.cpp.o" "gcc" "src/CMakeFiles/vdep_sim.dir/sim/actor.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/vdep_sim.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/vdep_sim.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/vdep_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/vdep_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/CMakeFiles/vdep_sim.dir/sim/kernel.cpp.o" "gcc" "src/CMakeFiles/vdep_sim.dir/sim/kernel.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/vdep_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/vdep_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_sim.dir/sim/actor.cpp.o"
+  "CMakeFiles/vdep_sim.dir/sim/actor.cpp.o.d"
+  "CMakeFiles/vdep_sim.dir/sim/cpu.cpp.o"
+  "CMakeFiles/vdep_sim.dir/sim/cpu.cpp.o.d"
+  "CMakeFiles/vdep_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/vdep_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/vdep_sim.dir/sim/kernel.cpp.o"
+  "CMakeFiles/vdep_sim.dir/sim/kernel.cpp.o.d"
+  "CMakeFiles/vdep_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/vdep_sim.dir/sim/trace.cpp.o.d"
+  "libvdep_sim.a"
+  "libvdep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdep_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/vdep_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/vdep_util.dir/util/config.cpp.o"
+  "CMakeFiles/vdep_util.dir/util/config.cpp.o.d"
+  "CMakeFiles/vdep_util.dir/util/logging.cpp.o"
+  "CMakeFiles/vdep_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/vdep_util.dir/util/rng.cpp.o"
+  "CMakeFiles/vdep_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/vdep_util.dir/util/stats.cpp.o"
+  "CMakeFiles/vdep_util.dir/util/stats.cpp.o.d"
+  "libvdep_util.a"
+  "libvdep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_test.dir/gcs_integration_test.cpp.o"
+  "CMakeFiles/gcs_test.dir/gcs_integration_test.cpp.o.d"
+  "CMakeFiles/gcs_test.dir/gcs_link_fd_test.cpp.o"
+  "CMakeFiles/gcs_test.dir/gcs_link_fd_test.cpp.o.d"
+  "CMakeFiles/gcs_test.dir/gcs_membership_test.cpp.o"
+  "CMakeFiles/gcs_test.dir/gcs_membership_test.cpp.o.d"
+  "CMakeFiles/gcs_test.dir/gcs_message_test.cpp.o"
+  "CMakeFiles/gcs_test.dir/gcs_message_test.cpp.o.d"
+  "CMakeFiles/gcs_test.dir/gcs_ordering_test.cpp.o"
+  "CMakeFiles/gcs_test.dir/gcs_ordering_test.cpp.o.d"
+  "CMakeFiles/gcs_test.dir/gcs_stress_test.cpp.o"
+  "CMakeFiles/gcs_test.dir/gcs_stress_test.cpp.o.d"
+  "CMakeFiles/gcs_test.dir/gcs_vector_clock_test.cpp.o"
+  "CMakeFiles/gcs_test.dir/gcs_vector_clock_test.cpp.o.d"
+  "gcs_test"
+  "gcs_test.pdb"
+  "gcs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

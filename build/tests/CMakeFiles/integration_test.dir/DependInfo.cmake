@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_properties_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_properties_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_properties_test.cpp.o.d"
+  "/root/repo/tests/integration_scenario_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_scenario_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdep_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_knobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

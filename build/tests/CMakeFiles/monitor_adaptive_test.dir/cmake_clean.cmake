@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_adaptive_test.dir/adaptive_test.cpp.o"
+  "CMakeFiles/monitor_adaptive_test.dir/adaptive_test.cpp.o.d"
+  "CMakeFiles/monitor_adaptive_test.dir/monitor_test.cpp.o"
+  "CMakeFiles/monitor_adaptive_test.dir/monitor_test.cpp.o.d"
+  "monitor_adaptive_test"
+  "monitor_adaptive_test.pdb"
+  "monitor_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

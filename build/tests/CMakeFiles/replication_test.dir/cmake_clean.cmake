@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_test.dir/replication_failover_test.cpp.o"
+  "CMakeFiles/replication_test.dir/replication_failover_test.cpp.o.d"
+  "CMakeFiles/replication_test.dir/replication_hybrid_test.cpp.o"
+  "CMakeFiles/replication_test.dir/replication_hybrid_test.cpp.o.d"
+  "CMakeFiles/replication_test.dir/replication_styles_test.cpp.o"
+  "CMakeFiles/replication_test.dir/replication_styles_test.cpp.o.d"
+  "CMakeFiles/replication_test.dir/replication_switch_test.cpp.o"
+  "CMakeFiles/replication_test.dir/replication_switch_test.cpp.o.d"
+  "CMakeFiles/replication_test.dir/replication_units_test.cpp.o"
+  "CMakeFiles/replication_test.dir/replication_units_test.cpp.o.d"
+  "CMakeFiles/replication_test.dir/replication_voting_test.cpp.o"
+  "CMakeFiles/replication_test.dir/replication_voting_test.cpp.o.d"
+  "replication_test"
+  "replication_test.pdb"
+  "replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
