@@ -4,6 +4,7 @@
 // the infrastructure the experiments run on.
 #include <benchmark/benchmark.h>
 
+#include "gcs/message.hpp"
 #include "gcs/ordering.hpp"
 #include "gcs/vector_clock.hpp"
 #include "orb/giop.hpp"
@@ -83,7 +84,7 @@ BENCHMARK(BM_GiopRequestRoundTrip)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_ReplyCachePutGet(benchmark::State& state) {
   replication::ReplyCache cache(1024);
-  Bytes reply = filler_bytes(128);
+  Payload reply = filler_bytes(128);
   std::uint64_t seq = 0;
   for (auto _ : state) {
     RequestId id{ProcessId{1}, ++seq};
@@ -139,6 +140,90 @@ void BM_OrderedBufferOfferDeliver(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OrderedBufferOfferDeliver);
+
+// --- fan-out message path: encode-once vs per-destination ---------------------
+//
+// Models the daemon broadcast hot path end to end: encode the inner message,
+// splice it into a link frame per destination, then decode on each receiver.
+// The legacy shape (what the tree did before the shared-Payload refactor)
+// re-encodes per destination and deep-copies payload bytes twice on every
+// receive; the current shape encodes once, splices once per destination, and
+// aliases on receive. The `payload_bytes_copied` counter is the acceptance
+// metric: bytes memcpy'd per fan-out, excluding fixed headers.
+
+constexpr int kFanoutDests = 4;
+
+gcs::Ordered make_fanout_msg(std::size_t payload_size) {
+  gcs::Ordered msg;
+  msg.group = GroupId{1};
+  msg.epoch = 3;
+  msg.seq = 17;
+  msg.origin = gcs::OriginId{ProcessId{1}, 17};
+  msg.origin_daemon = NodeId{1};
+  msg.payload = Payload::copy_of(filler_bytes(payload_size));
+  return msg;
+}
+
+// ReliableLink's outer frame: type byte, sequence, length-prefixed inner.
+Bytes splice_link_frame(std::span<const std::uint8_t> inner) {
+  ByteWriter w(inner.size() + 16);
+  w.u8(1);
+  w.u64(42);
+  w.bytes(inner);
+  return std::move(w).take();
+}
+
+void BM_FanoutEncodePerDest(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  const gcs::Ordered msg = make_fanout_msg(payload_size);
+  std::size_t copied = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    for (int d = 0; d < kFanoutDests; ++d) {
+      Payload frame = gcs::encode_inner(msg);       // re-encoded per destination
+      copied += payload_size;
+      Bytes link = splice_link_frame(frame);        // splice per destination
+      copied += payload_size;
+      ByteReader r(link);                           // receiver: no owner -> copies
+      (void)r.u8();
+      (void)r.u64();
+      Payload inner = read_payload(r);              // deep copy out of the frame
+      copied += payload_size;
+      auto decoded = gcs::decode_inner(inner.view());  // deep copy of the payload
+      copied += payload_size;
+      benchmark::DoNotOptimize(decoded);
+    }
+    ++rounds;
+  }
+  state.counters["payload_bytes_copied"] =
+      benchmark::Counter(static_cast<double>(copied) / static_cast<double>(rounds));
+}
+BENCHMARK(BM_FanoutEncodePerDest)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_FanoutEncodeOnce(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  const gcs::Ordered msg = make_fanout_msg(payload_size);
+  std::size_t copied = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Payload frame = gcs::encode_inner(msg);         // encoded once, shared
+    copied += payload_size;
+    for (int d = 0; d < kFanoutDests; ++d) {
+      Payload link = splice_link_frame(frame);      // one splice per destination
+      copied += payload_size;
+      ByteReader r(link.owner(), link);             // receiver: owner-aware
+      (void)r.u8();
+      (void)r.u64();
+      Payload inner = read_payload(r);              // aliases the link frame
+      auto decoded = gcs::decode_inner(inner);      // payload aliases too
+      benchmark::DoNotOptimize(decoded);
+    }
+    ++rounds;
+  }
+  state.counters["payload_bytes_copied"] =
+      benchmark::Counter(static_cast<double>(copied) / static_cast<double>(rounds));
+}
+BENCHMARK(BM_FanoutEncodeOnce)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_Fnv1a(benchmark::State& state) {
   Bytes data = filler_bytes(static_cast<std::size_t>(state.range(0)));

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the substrate micro-benchmarks in Release mode and records their
+# results as BENCH_substrate.json at the repo root.
+#
+# Usage: bench/run_bench.sh [extra google-benchmark args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j"$(nproc)" --target micro_substrate
+
+"${build_dir}/bench/micro_substrate" \
+  --benchmark_format=json \
+  --benchmark_out="${repo_root}/BENCH_substrate.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote ${repo_root}/BENCH_substrate.json"

@@ -64,7 +64,7 @@ Bytes KvStoreServant::snapshot() const {
   return std::move(w).take();
 }
 
-void KvStoreServant::restore(const Bytes& snapshot) {
+void KvStoreServant::restore(std::span<const std::uint8_t> snapshot) {
   data_.clear();
   ByteReader r(snapshot);
   const auto n = r.u32();

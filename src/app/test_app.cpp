@@ -58,7 +58,7 @@ Bytes TestServant::snapshot() const {
   return std::move(w).take();
 }
 
-void TestServant::restore(const Bytes& snapshot) {
+void TestServant::restore(std::span<const std::uint8_t> snapshot) {
   ByteReader r(snapshot);
   counter_ = r.u64();
   digest_ = r.u64();

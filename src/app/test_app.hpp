@@ -33,7 +33,7 @@ class TestServant final : public replication::Checkpointable {
   Result invoke(const std::string& operation, const Bytes& args) override;
 
   [[nodiscard]] Bytes snapshot() const override;
-  void restore(const Bytes& snapshot) override;
+  void restore(std::span<const std::uint8_t> snapshot) override;
   [[nodiscard]] std::size_t state_size() const override;
   [[nodiscard]] std::uint64_t state_digest() const override { return digest_; }
 

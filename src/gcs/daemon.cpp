@@ -24,8 +24,8 @@ Daemon::Daemon(sim::Kernel& kernel, net::Network& network, ProcessId pid, NodeId
 
   link_ = std::make_unique<ReliableLink>(
       *this, network_,
-      [this](NodeId from, Bytes&& inner) { on_link_deliver(from, std::move(inner)); },
-      [this](NodeId from, Bytes&&) { fd_->heartbeat_received(from); });
+      [this](NodeId from, Payload&& inner) { on_link_deliver(from, std::move(inner)); },
+      [this](NodeId from, Payload&&) { fd_->heartbeat_received(from); });
 
   std::vector<NodeId> peers;
   for (NodeId d : all_daemons_) {
@@ -81,7 +81,7 @@ void Daemon::on_packet(net::Packet&& packet) {
   link_->handle_packet(std::move(packet));
 }
 
-void Daemon::on_link_deliver(NodeId from, Bytes&& inner) {
+void Daemon::on_link_deliver(NodeId from, Payload&& inner) {
   // Price the protocol processing before doing it: the calibrated per-packet
   // daemon cost (per MTU fragment for bulk payloads such as checkpoints),
   // plus the sequencing decision when we are the leader ordering a Forward
@@ -130,8 +130,29 @@ void Daemon::send_inner(NodeId to, const InnerMsg& msg) {
 
 void Daemon::emit(const LeaderState::Emissions& emissions) {
   for (const auto& e : emissions) {
-    if (e.to != host() && !fd_->alive(e.to)) continue;
-    send_inner(e.to, e.msg);
+    // Encode-once fan-out: the frame is built lazily on the first remote
+    // destination and the same frozen buffer is shared across all of them.
+    // `encoded` (not frame.empty()) gates the lazy build: a legitimate
+    // zero-length frame cannot occur, but an emission with only loopback or
+    // dead destinations must not encode at all.
+    Payload frame;
+    std::size_t payload_bytes = 0;
+    bool encoded = false;
+    for (NodeId to : e.dests) {
+      if (to == host()) {
+        // Loopback: skip the link layer; modest handoff delay, no encode.
+        post(kLoopbackDelay,
+             [this, m = e.msg]() mutable { handle_inner(host(), std::move(m)); });
+        continue;
+      }
+      if (!fd_->alive(to)) continue;
+      if (!encoded) {
+        frame = encode_inner(e.msg);
+        payload_bytes = inner_payload_size(e.msg);
+        encoded = true;
+      }
+      link_->send(to, frame, payload_bytes);
+    }
   }
 }
 
@@ -447,7 +468,7 @@ void Daemon::submit_leave(ProcessId pid, GroupId group, std::uint64_t origin_seq
 }
 
 void Daemon::submit_multicast(ProcessId pid, GroupId group, ServiceType svc,
-                              Bytes payload, std::uint64_t origin_seq) {
+                              Payload payload, std::uint64_t origin_seq) {
   Forward fwd;
   fwd.group = group;
   fwd.kind = Forward::Kind::kData;
@@ -466,7 +487,7 @@ void Daemon::submit_multicast(ProcessId pid, GroupId group, ServiceType svc,
 }
 
 void Daemon::submit_unicast(ProcessId pid, ProcessId dst, NodeId dst_daemon,
-                            Bytes payload) {
+                            Payload payload) {
   PrivateMsg msg;
   msg.sender = pid;
   msg.sender_daemon = host();

@@ -64,9 +64,9 @@ class Daemon : public sim::Process {
 
   void submit_join(ProcessId pid, GroupId group, std::uint64_t origin_seq);
   void submit_leave(ProcessId pid, GroupId group, std::uint64_t origin_seq);
-  void submit_multicast(ProcessId pid, GroupId group, ServiceType svc, Bytes payload,
+  void submit_multicast(ProcessId pid, GroupId group, ServiceType svc, Payload payload,
                         std::uint64_t origin_seq);
-  void submit_unicast(ProcessId pid, ProcessId dst, NodeId dst_daemon, Bytes payload);
+  void submit_unicast(ProcessId pid, ProcessId dst, NodeId dst_daemon, Payload payload);
 
   // --- introspection ------------------------------------------------------------
   [[nodiscard]] NodeId current_leader() const { return leader_; }
@@ -81,7 +81,7 @@ class Daemon : public sim::Process {
 
   // Packet pipeline.
   void on_packet(net::Packet&& packet);
-  void on_link_deliver(NodeId from, Bytes&& inner);
+  void on_link_deliver(NodeId from, Payload&& inner);
   void handle_inner(NodeId from, InnerMsg&& msg);
 
   void handle_forward(NodeId from, Forward&& fwd);

@@ -25,12 +25,12 @@ void Endpoint::leave(GroupId group) {
   daemon_.submit_leave(process_.id(), group, next_origin_seq());
 }
 
-void Endpoint::multicast(GroupId group, ServiceType svc, Bytes payload) {
+void Endpoint::multicast(GroupId group, ServiceType svc, Payload payload) {
   daemon_.submit_multicast(process_.id(), group, svc, std::move(payload),
                            next_origin_seq());
 }
 
-void Endpoint::unicast(ProcessId dst, NodeId dst_daemon, Bytes payload) {
+void Endpoint::unicast(ProcessId dst, NodeId dst_daemon, Payload payload) {
   daemon_.submit_unicast(process_.id(), dst, dst_daemon, std::move(payload));
 }
 

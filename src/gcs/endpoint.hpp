@@ -36,11 +36,12 @@ class Endpoint {
   void leave(GroupId group);
 
   // Multicast to a group. The sender need not be a member (open groups, as
-  // in Spread): clients send requests into server groups this way.
-  void multicast(GroupId group, ServiceType svc, Bytes payload);
+  // in Spread): clients send requests into server groups this way. The
+  // payload buffer is frozen and shared down the whole send path.
+  void multicast(GroupId group, ServiceType svc, Payload payload);
 
   // Point-to-point reliable FIFO datagram.
-  void unicast(ProcessId dst, NodeId dst_daemon, Bytes payload);
+  void unicast(ProcessId dst, NodeId dst_daemon, Payload payload);
 
   [[nodiscard]] ProcessId id() const { return process_.id(); }
   [[nodiscard]] NodeId daemon_host() const { return daemon_.host(); }

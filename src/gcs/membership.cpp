@@ -38,9 +38,7 @@ void LeaderState::order_data(GroupRec& rec, const Forward& fwd, Emissions& out) 
   const auto eit = rec.epochs.find(rec.view.view_id);
   // Piggyback only the *published* watermark: stability is token-paced.
   o.stable_upto = eit != rec.epochs.end() ? eit->second.published_count : 0;
-  for (NodeId d : member_daemons(rec.view)) {
-    out.push_back({d, o});
-  }
+  out.push_back({member_daemons(rec.view), std::move(o)});
 }
 
 void LeaderState::install_view(GroupRec& rec, std::vector<Member> members,
@@ -88,7 +86,7 @@ void LeaderState::install_view(GroupRec& rec, std::vector<Member> members,
   o.origin_daemon = self_;
   o.payload = next.encode();
   o.prev_epoch_end = prev_epoch_end;
-  for (NodeId d : recipients) out.push_back({d, o});
+  out.push_back({{recipients.begin(), recipients.end()}, std::move(o)});
 }
 
 LeaderState::Emissions LeaderState::handle_forward(const Forward& fwd) {
@@ -96,7 +94,7 @@ LeaderState::Emissions LeaderState::handle_forward(const Forward& fwd) {
   // Every forward is acknowledged to its origin daemon so pending-forward
   // state can be cleared there, even when the forward itself is a duplicate
   // (the previous ack may have been lost with a dying leader).
-  out.push_back({fwd.origin_daemon, FwdAck{fwd.group, fwd.origin}});
+  out.push_back({{fwd.origin_daemon}, FwdAck{fwd.group, fwd.origin}});
 
   auto& rec = groups_[fwd.group];
   if (rec.view.group != fwd.group) rec.view.group = fwd.group;
@@ -175,8 +173,9 @@ LeaderState::Emissions LeaderState::publish_stability() {
       update_stability(rec, eit->first);
       if (track.stable_count > track.published_count) {
         track.published_count = track.stable_count;
-        for (NodeId d : track.daemons) {
-          out.push_back({d, StableMsg{git->first, eit->first, track.published_count}});
+        if (!track.daemons.empty()) {
+          out.push_back(
+              {track.daemons, StableMsg{git->first, eit->first, track.published_count}});
         }
       }
       // Fully-published closed epochs need no further tracking.
@@ -213,7 +212,8 @@ LeaderState::Emissions LeaderState::handle_daemon_death(NodeId daemon) {
     }
   }
   // Never emit to the dead daemon itself.
-  std::erase_if(out, [daemon](const Emission& e) { return e.to == daemon; });
+  for (auto& e : out) std::erase(e.dests, daemon);
+  std::erase_if(out, [](const Emission& e) { return e.dests.empty(); });
   return out;
 }
 
@@ -303,8 +303,10 @@ LeaderState::Emissions LeaderState::bootstrap(const std::vector<SyncState>& stat
     for (const auto& [epoch, track] : rec.epochs) {
       for (NodeId d : track.daemons) recipients.insert(d);
     }
-    for (const auto& [key, o] : c.buffered) {
-      for (NodeId d : recipients) out.push_back({d, o});
+    if (!recipients.empty()) {
+      for (const auto& [key, o] : c.buffered) {
+        out.push_back({{recipients.begin(), recipients.end()}, o});
+      }
     }
 
     // Fresh view without processes hosted on dead daemons.
@@ -327,7 +329,10 @@ LeaderState::Emissions LeaderState::bootstrap(const std::vector<SyncState>& stat
   }
 
   // Do not emit to dead daemons.
-  std::erase_if(out, [&live](const Emission& e) { return !live.contains(e.to); });
+  for (auto& e : out) {
+    std::erase_if(e.dests, [&live](NodeId d) { return !live.contains(d); });
+  }
+  std::erase_if(out, [](const Emission& e) { return e.dests.empty(); });
   return out;
 }
 

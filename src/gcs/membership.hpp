@@ -19,8 +19,12 @@ class LeaderState {
  public:
   explicit LeaderState(NodeId self) : self_(self) {}
 
+  // One protocol message addressed to a set of daemons. Fanning out as
+  // {dests, msg} instead of one (to, msg) pair per destination is what lets
+  // the daemon encode the frame once and share it across every destination.
+  // `dests` preserves emission order (sorted, deduplicated by construction).
   struct Emission {
-    NodeId to;
+    std::vector<NodeId> dests;
     InnerMsg msg;
   };
   using Emissions = std::vector<Emission>;

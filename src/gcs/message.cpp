@@ -29,14 +29,19 @@ enum class Tag : std::uint8_t {
   kFwdAck = 8,
 };
 
-ServiceType decode_svc(std::uint8_t v) {
+ServiceType decode_svc(ByteReader& r) {
+  const auto v = r.u8();
   if (v > static_cast<std::uint8_t>(ServiceType::kSafe)) {
-    throw DecodeError("bad service type");
+    throw r.error("bad service type", r.pos() - 1);
   }
   return static_cast<ServiceType>(v);
 }
 
+std::uint64_t g_encode_inner_count = 0;
+
 }  // namespace
+
+std::uint64_t encode_inner_count() { return g_encode_inner_count; }
 
 void Forward::encode_to(ByteWriter& w) const {
   w.u64(group.value());
@@ -52,13 +57,13 @@ Forward Forward::decode(ByteReader& r) {
   Forward f;
   f.group = GroupId{r.u64()};
   const auto kind = r.u8();
-  if (kind > 3) throw DecodeError("bad forward kind");
+  if (kind > 3) throw r.error("bad forward kind", r.pos() - 1);
   f.kind = static_cast<Kind>(kind);
-  f.svc = decode_svc(r.u8());
+  f.svc = decode_svc(r);
   f.origin.sender = ProcessId{r.u64()};
   f.origin.seq = r.u64();
   f.origin_daemon = NodeId{r.u64()};
-  f.payload = r.bytes();
+  f.payload = read_payload(r);
   return f;
 }
 
@@ -82,13 +87,13 @@ Ordered Ordered::decode(ByteReader& r) {
   o.epoch = r.u64();
   o.seq = r.u64();
   const auto kind = r.u8();
-  if (kind > 1) throw DecodeError("bad ordered kind");
+  if (kind > 1) throw r.error("bad ordered kind", r.pos() - 1);
   o.kind = static_cast<Kind>(kind);
-  o.svc = decode_svc(r.u8());
+  o.svc = decode_svc(r);
   o.origin.sender = ProcessId{r.u64()};
   o.origin.seq = r.u64();
   o.origin_daemon = NodeId{r.u64()};
-  o.payload = r.bytes();
+  o.payload = read_payload(r);
   o.prev_epoch_end = r.u64();
   o.stable_upto = r.u64();
   return o;
@@ -175,7 +180,7 @@ SyncState SyncState::decode(ByteReader& r) {
   for (std::uint32_t i = 0; i < np; ++i) s.pending.push_back(Forward::decode(r));
   const auto nv = r.u32();
   s.views.reserve(nv);
-  for (std::uint32_t i = 0; i < nv; ++i) s.views.push_back(View::decode(r.bytes()));
+  for (std::uint32_t i = 0; i < nv; ++i) s.views.push_back(View::decode(r.bytes_view()));
   const auto na = r.u32();
   s.acks.reserve(na);
   for (std::uint32_t i = 0; i < na; ++i) s.acks.push_back(OrdAck::decode(r));
@@ -194,11 +199,12 @@ PrivateMsg PrivateMsg::decode(ByteReader& r) {
   p.sender = ProcessId{r.u64()};
   p.sender_daemon = NodeId{r.u64()};
   p.destination = ProcessId{r.u64()};
-  p.payload = r.bytes();
+  p.payload = read_payload(r);
   return p;
 }
 
-Bytes encode_inner(const InnerMsg& msg) {
+Payload encode_inner(const InnerMsg& msg) {
+  ++g_encode_inner_count;
   ByteWriter w;
   std::visit(
       [&w]<typename T>(const T& m) {
@@ -217,8 +223,9 @@ Bytes encode_inner(const InnerMsg& msg) {
   return std::move(w).take();
 }
 
-InnerMsg decode_inner(const Bytes& raw) {
-  ByteReader r(raw);
+namespace {
+
+InnerMsg decode_inner_impl(ByteReader& r) {
   const auto tag = r.u8();
   switch (static_cast<Tag>(tag)) {
     case Tag::kForward: return Forward::decode(r);
@@ -230,7 +237,19 @@ InnerMsg decode_inner(const Bytes& raw) {
     case Tag::kPrivate: return PrivateMsg::decode(r);
     case Tag::kFwdAck: return FwdAck::decode(r);
   }
-  throw DecodeError("bad inner message tag");
+  throw r.error("bad inner message tag", r.pos() - 1);
+}
+
+}  // namespace
+
+InnerMsg decode_inner(const Payload& frame) {
+  ByteReader r(frame.owner(), frame);
+  return decode_inner_impl(r);
+}
+
+InnerMsg decode_inner(std::span<const std::uint8_t> raw) {
+  ByteReader r(raw);
+  return decode_inner_impl(r);
 }
 
 std::size_t inner_payload_size(const InnerMsg& msg) {

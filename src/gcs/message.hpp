@@ -33,7 +33,7 @@ struct Forward {
   ServiceType svc = ServiceType::kAgreed;
   OriginId origin;         // sending process + its per-group counter
   NodeId origin_daemon;    // daemon serving the sending process
-  Bytes payload;
+  Payload payload;
 
   void encode_to(ByteWriter& w) const;
   static Forward decode(ByteReader& r);
@@ -49,7 +49,7 @@ struct Ordered {
   ServiceType svc = ServiceType::kAgreed;
   OriginId origin;
   NodeId origin_daemon;
-  Bytes payload;            // app payload, or View::encode() for kView
+  Payload payload;          // app payload, or View::encode() for kView
   // kView only: the last sequence number of the previous epoch, so receivers
   // know when the old epoch's stream is complete.
   std::uint64_t prev_epoch_end = 0;
@@ -116,7 +116,7 @@ struct PrivateMsg {
   ProcessId sender;
   NodeId sender_daemon;
   ProcessId destination;
-  Bytes payload;
+  Payload payload;
 
   void encode_to(ByteWriter& w) const;
   static PrivateMsg decode(ByteReader& r);
@@ -125,8 +125,18 @@ struct PrivateMsg {
 using InnerMsg = std::variant<Forward, Ordered, OrdAck, StableMsg, Takeover, SyncState,
                               PrivateMsg, FwdAck>;
 
-[[nodiscard]] Bytes encode_inner(const InnerMsg& msg);
-[[nodiscard]] InnerMsg decode_inner(const Bytes& raw);
+// Encodes to a frozen, shareable frame: fan-out paths encode once and hand
+// the same Payload to every destination.
+[[nodiscard]] Payload encode_inner(const InnerMsg& msg);
+// Decoded payload fields alias `frame` (they hold a refcount on it), so no
+// byte copies happen on the receive path.
+[[nodiscard]] InnerMsg decode_inner(const Payload& frame);
+// Copying overload for callers holding a plain buffer (tests, fuzz inputs).
+[[nodiscard]] InnerMsg decode_inner(std::span<const std::uint8_t> raw);
+
+// Number of encode_inner() calls since process start; lets tests assert the
+// encode-once fan-out invariant (N destinations, one encode).
+[[nodiscard]] std::uint64_t encode_inner_count();
 
 // Application payload bytes carried by an inner message (for wire-size
 // accounting: headers are charged separately).

@@ -12,7 +12,8 @@ constexpr SimTime kRetransmitTimeout = msec(15);
 
 enum class FrameType : std::uint8_t { kData = 1, kAck = 2, kRaw = 3 };
 
-Bytes encode_frame(FrameType type, std::uint64_t seq, const Bytes& inner) {
+Bytes encode_frame(FrameType type, std::uint64_t seq,
+                   std::span<const std::uint8_t> inner) {
   ByteWriter w(inner.size() + 16);
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(seq);
@@ -29,37 +30,41 @@ ReliableLink::ReliableLink(sim::Process& owner, net::Network& network, DeliverFn
       deliver_(std::move(deliver)),
       raw_deliver_(std::move(raw_deliver)) {}
 
-void ReliableLink::transmit(NodeId to, const Bytes& frame, std::size_t wire,
+void ReliableLink::transmit(NodeId to, Payload frame, std::size_t wire,
                             bool counted) {
   net::Packet p;
   p.src = owner_.host();
   p.dst = to;
   p.port = net::Port::kGcsDaemon;
-  p.payload = frame;
+  p.payload = std::move(frame);
   p.wire_bytes = wire;
   p.counted = counted;
   network_.send(std::move(p));
 }
 
-void ReliableLink::send(NodeId to, Bytes inner, std::size_t payload_bytes) {
+void ReliableLink::send(NodeId to, Payload inner, std::size_t payload_bytes) {
   auto& peer = tx_[to];
   const std::uint64_t seq = peer.next_seq++;
-  Bytes frame = encode_frame(FrameType::kData, seq, inner);
+  // The per-peer sequence number forces one splice here, but the resulting
+  // frame is shared (not copied) between the retransmit queue and the packet.
+  Payload frame = encode_frame(FrameType::kData, seq, inner);
   const std::size_t wire = net::wire_bytes(payload_bytes, calib::kGcsHeaderBytes) +
                            (inner.size() - payload_bytes);
   peer.unacked[seq] = Unacked{frame, wire};
-  transmit(to, frame, wire, /*counted=*/true);
+  transmit(to, std::move(frame), wire, /*counted=*/true);
   arm_retransmit(to);
 }
 
 void ReliableLink::send_raw(NodeId to, Bytes inner) {
-  Bytes frame = encode_frame(FrameType::kRaw, 0, inner);
-  transmit(to, frame, frame.size(), /*counted=*/false);
+  Payload frame = encode_frame(FrameType::kRaw, 0, inner);
+  const std::size_t wire = frame.size();
+  transmit(to, std::move(frame), wire, /*counted=*/false);
 }
 
 void ReliableLink::send_ack(NodeId to, std::uint64_t cumulative) {
-  Bytes frame = encode_frame(FrameType::kAck, cumulative, {});
-  transmit(to, frame, frame.size(), /*counted=*/false);
+  Payload frame = encode_frame(FrameType::kAck, cumulative, {});
+  const std::size_t wire = frame.size();
+  transmit(to, std::move(frame), wire, /*counted=*/false);
 }
 
 void ReliableLink::arm_retransmit(NodeId to) {
@@ -84,10 +89,12 @@ void ReliableLink::forget_peer(NodeId peer) {
 }
 
 void ReliableLink::handle_packet(net::Packet&& packet) {
-  ByteReader r(packet.payload);
+  // The reader carries the packet's buffer as its owner, so the inner frame
+  // below is a zero-copy alias of the received bytes.
+  ByteReader r(packet.payload.owner(), packet.payload);
   const auto type = static_cast<FrameType>(r.u8());
   const std::uint64_t seq = r.u64();
-  Bytes inner = r.bytes();
+  Payload inner = read_payload(r);
 
   switch (type) {
     case FrameType::kRaw:
@@ -112,7 +119,7 @@ void ReliableLink::handle_packet(net::Packet&& packet) {
       while (true) {
         auto dit = peer.reorder.find(peer.next_expected);
         if (dit == peer.reorder.end()) break;
-        Bytes msg = std::move(dit->second);
+        Payload msg = std::move(dit->second);
         peer.reorder.erase(dit);
         ++peer.next_expected;
         deliver_(packet.src, std::move(msg));
@@ -121,7 +128,7 @@ void ReliableLink::handle_packet(net::Packet&& packet) {
       return;
     }
   }
-  throw DecodeError("bad link frame type");
+  throw r.error("bad link frame type", 0);
 }
 
 }  // namespace vdep::gcs

@@ -14,22 +14,27 @@
 
 #include "net/network.hpp"
 #include "sim/actor.hpp"
+#include "util/payload.hpp"
 
 namespace vdep::gcs {
 
 class ReliableLink {
  public:
-  // `deliver` receives in-order inner message bytes from a peer daemon.
-  using DeliverFn = std::function<void(NodeId from, Bytes&& inner)>;
+  // `deliver` receives in-order inner message frames from a peer daemon; the
+  // Payload aliases the received packet's buffer (no copy).
+  using DeliverFn = std::function<void(NodeId from, Payload&& inner)>;
   // Raw (unreliable, uncounted) frames: heartbeats.
-  using RawFn = std::function<void(NodeId from, Bytes&& inner)>;
+  using RawFn = std::function<void(NodeId from, Payload&& inner)>;
 
   ReliableLink(sim::Process& owner, net::Network& network, DeliverFn deliver,
                RawFn raw_deliver);
 
   // Reliable FIFO send. `payload_bytes` is the application-payload portion
-  // used for fragmentation-aware wire accounting.
-  void send(NodeId to, Bytes inner, std::size_t payload_bytes);
+  // used for fragmentation-aware wire accounting. `inner` may be a frame
+  // shared with other peers (encode-once fan-out); the per-peer link header
+  // is spliced on here, and that framed buffer is then shared between the
+  // retransmit queue and the in-flight packet.
+  void send(NodeId to, Payload inner, std::size_t payload_bytes);
 
   // Fire-and-forget, uncounted (heartbeats).
   void send_raw(NodeId to, Bytes inner);
@@ -45,7 +50,7 @@ class ReliableLink {
 
  private:
   struct Unacked {
-    Bytes frame;
+    Payload frame;  // shares the buffer with the original transmission
     std::size_t wire_bytes;
   };
 
@@ -57,10 +62,10 @@ class ReliableLink {
 
   struct PeerRx {
     std::uint64_t next_expected = 1;
-    std::map<std::uint64_t, Bytes> reorder;
+    std::map<std::uint64_t, Payload> reorder;  // aliases received packet frames
   };
 
-  void transmit(NodeId to, const Bytes& frame, std::size_t wire, bool counted);
+  void transmit(NodeId to, Payload frame, std::size_t wire, bool counted);
   void arm_retransmit(NodeId to);
   void send_ack(NodeId to, std::uint64_t cumulative);
 

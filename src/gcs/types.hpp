@@ -13,6 +13,7 @@
 
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
+#include "util/payload.hpp"
 
 namespace vdep::gcs {
 
@@ -42,7 +43,7 @@ struct GroupMessage {
   ServiceType svc = ServiceType::kAgreed;
   ProcessId sender;
   NodeId sender_daemon;  // lets receivers reply point-to-point
-  Bytes payload;
+  Payload payload;  // shares the ordered message's buffer across local members
 };
 
 // Point-to-point datagram (Spread "private group" unicast): reliable and
@@ -50,7 +51,7 @@ struct GroupMessage {
 struct PrivateMessage {
   ProcessId sender;
   ProcessId destination;
-  Bytes payload;
+  Payload payload;
 };
 
 }  // namespace vdep::gcs

@@ -36,7 +36,7 @@ Bytes View::encode() const {
   return std::move(w).take();
 }
 
-View View::decode(const Bytes& raw) {
+View View::decode(std::span<const std::uint8_t> raw) {
   ByteReader r(raw);
   View v;
   v.group = GroupId{r.u64()};

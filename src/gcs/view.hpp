@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,7 +40,7 @@ struct View {
   [[nodiscard]] std::size_t size() const { return members.size(); }
 
   [[nodiscard]] Bytes encode() const;
-  static View decode(const Bytes& raw);
+  static View decode(std::span<const std::uint8_t> raw);
 
   [[nodiscard]] std::string str() const;
 

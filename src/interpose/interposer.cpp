@@ -16,7 +16,7 @@ InterceptOnlyClientTransport::InterceptOnlyClientTransport(
     net::Network& network, sim::Process& process,
     std::unique_ptr<orb::ClientTransport> inner, SimTime cost)
     : network_(network), process_(process), inner_(std::move(inner)), cost_(cost) {
-  inner_->set_reply_handler([this](Bytes&& reply) {
+  inner_->set_reply_handler([this](Payload&& reply) {
     network_.cpu(process_.host())
         .execute(cost_, process_.guarded([this, r = std::move(reply)]() mutable {
           deliver_reply(std::move(r));
@@ -24,7 +24,7 @@ InterceptOnlyClientTransport::InterceptOnlyClientTransport(
   });
 }
 
-void InterceptOnlyClientTransport::send_request(const orb::ObjectRef& ref, Bytes giop) {
+void InterceptOnlyClientTransport::send_request(const orb::ObjectRef& ref, Payload giop) {
   network_.cpu(process_.host())
       .execute(cost_, process_.guarded([this, ref, g = std::move(giop)]() mutable {
         inner_->send_request(ref, std::move(g));
@@ -45,13 +45,13 @@ InterceptOnlyServerAcceptor::InterceptOnlyServerAcceptor(net::ChannelManager& ch
     auto& network = channels_.network();
     auto& process = orb.process();
     channel->set_receive_handler([&orb, &network, &process, weak, cost,
-                                  host = host_](Bytes&& request) {
+                                  host = host_](Payload&& request) {
       // Trampoline on the inbound syscall...
       network.cpu(host).execute(
           cost, process.guarded([&orb, &network, weak, cost, host,
                                  req = std::move(request)]() mutable {
             orb.handle_request(
-                std::move(req), [&network, weak, cost, host](Bytes reply) {
+                std::move(req), [&network, weak, cost, host](Payload reply) {
                   // ...and on the outbound one.
                   network.cpu(host).execute(cost, [weak, r = std::move(reply)]() mutable {
                     if (auto ch = weak.lock(); ch && ch->open()) ch->send(std::move(r));

@@ -35,7 +35,7 @@ class InterceptOnlyClientTransport final : public orb::ClientTransport {
                                std::unique_ptr<orb::ClientTransport> inner,
                                SimTime cost = calib::kInterceptOnlyTraversal);
 
-  void send_request(const orb::ObjectRef& ref, Bytes giop) override;
+  void send_request(const orb::ObjectRef& ref, Payload giop) override;
   void cancel(std::uint32_t request_id) override;
 
  private:

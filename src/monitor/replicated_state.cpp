@@ -18,7 +18,7 @@ Bytes StateEntry::encode() const {
   return std::move(w).take();
 }
 
-StateEntry StateEntry::decode(const Bytes& raw) {
+StateEntry StateEntry::decode(std::span<const std::uint8_t> raw) {
   ByteReader r(raw);
   StateEntry e;
   e.reporter = ProcessId{r.u64()};

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "gcs/endpoint.hpp"
@@ -28,7 +29,7 @@ struct StateEntry {
   std::map<std::string, double> extra;
 
   [[nodiscard]] Bytes encode() const;
-  static StateEntry decode(const Bytes& raw);
+  static StateEntry decode(std::span<const std::uint8_t> raw);
 };
 
 class ReplicatedStateObject {

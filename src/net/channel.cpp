@@ -15,7 +15,7 @@ struct Frame {
   std::uint64_t channel;
   std::uint16_t tcp_port = 0;  // SYN only
   std::uint64_t seq = 0;       // DATA only
-  Bytes message;               // DATA only
+  Payload message;             // DATA only
 
   [[nodiscard]] Bytes encode() const {
     ByteWriter w(message.size() + 32);
@@ -27,16 +27,17 @@ struct Frame {
     return std::move(w).take();
   }
 
-  static Frame decode(const Bytes& raw) {
-    ByteReader r(raw);
+  // The decoded message aliases `raw`'s buffer (no copy).
+  static Frame decode(const Payload& raw) {
+    ByteReader r(raw.owner(), raw);
     Frame f;
     const auto t = r.u8();
-    if (t < 1 || t > 3) throw DecodeError("bad channel frame type");
+    if (t < 1 || t > 3) throw r.error("bad channel frame type", 0);
     f.type = static_cast<FrameType>(t);
     f.channel = r.u64();
     f.tcp_port = r.u16();
     f.seq = r.u64();
-    f.message = r.bytes();
+    f.message = read_payload(r);
     return f;
   }
 };
@@ -55,7 +56,7 @@ void Channel::set_receive_handler(ReceiveHandler handler) {
 
 void Channel::set_close_handler(CloseHandler handler) { on_close_ = std::move(handler); }
 
-void Channel::send(Bytes message) {
+void Channel::send(Payload message) {
   if (!open_) return;
   Frame f{FrameType::kData, id_.value(), 0, next_send_seq_++, std::move(message)};
   const std::size_t payload = f.message.size();
@@ -69,7 +70,7 @@ void Channel::close() {
   mgr_.transmit(local_, remote_, f.encode(), 0);
 }
 
-void Channel::on_data(std::uint64_t seq, Bytes&& message) {
+void Channel::on_data(std::uint64_t seq, Payload&& message) {
   if (!open_) return;
   reorder_[seq] = std::move(message);
   flush_in_order();
@@ -82,7 +83,7 @@ void Channel::flush_in_order() {
   auto self = shared_from_this();
   for (auto it = reorder_.find(next_recv_seq_); it != reorder_.end();
        it = reorder_.find(next_recv_seq_)) {
-    Bytes msg = std::move(it->second);
+    Payload msg = std::move(it->second);
     reorder_.erase(it);
     ++next_recv_seq_;
     on_receive_(std::move(msg));
@@ -176,9 +177,10 @@ void ChannelManager::handle_packet(NodeId host, Packet&& packet) {
   std::shared_ptr<Channel> channel;
   if (it != endpoints_.end()) channel = it->second.lock();
   if (!channel) {
-    // Data outracing the SYN: park it. (Frames for genuinely dead channels
+    // Data outracing the SYN: park the received frame as-is — sharing the
+    // buffer, not re-encoding it. (Frames for genuinely dead channels
     // accumulate here only until the manager is destroyed with the network.)
-    pending_frames_[key].push_back(f.encode());
+    pending_frames_[key].push_back(std::move(packet.payload));
     return;
   }
 

@@ -20,15 +20,16 @@ class ChannelManager;
 
 class Channel : public std::enable_shared_from_this<Channel> {
  public:
-  using ReceiveHandler = std::function<void(Bytes&&)>;
+  using ReceiveHandler = std::function<void(Payload&&)>;
   using CloseHandler = std::function<void()>;
 
   // Delivered messages arrive through this handler, in send order.
   void set_receive_handler(ReceiveHandler handler);
   void set_close_handler(CloseHandler handler);
 
-  // Sends one message to the peer. No-op on a closed channel.
-  void send(Bytes message);
+  // Sends one message to the peer. No-op on a closed channel. The message
+  // buffer is frozen and shared with the in-flight frame.
+  void send(Payload message);
 
   // Closes both directions; the peer's close handler fires.
   void close();
@@ -43,7 +44,7 @@ class Channel : public std::enable_shared_from_this<Channel> {
 
   Channel(ChannelManager& mgr, ChannelId id, NodeId local, NodeId remote);
 
-  void on_data(std::uint64_t seq, Bytes&& message);
+  void on_data(std::uint64_t seq, Payload&& message);
   void on_fin();
   void flush_in_order();
 
@@ -54,7 +55,7 @@ class Channel : public std::enable_shared_from_this<Channel> {
   bool open_ = true;
   std::uint64_t next_send_seq_ = 0;
   std::uint64_t next_recv_seq_ = 0;
-  std::map<std::uint64_t, Bytes> reorder_;
+  std::map<std::uint64_t, Payload> reorder_;  // aliases received packet frames
   ReceiveHandler on_receive_;
   CloseHandler on_close_;
 };
@@ -96,8 +97,9 @@ class ChannelManager {
   // Channel endpoints by (host, channel id): both sides of a channel share
   // the id but live on different hosts.
   std::map<std::pair<NodeId, std::uint64_t>, std::weak_ptr<Channel>> endpoints_;
-  // Early data/fin frames for channels whose SYN has not landed yet.
-  std::map<std::pair<NodeId, std::uint64_t>, std::vector<Bytes>> pending_frames_;
+  // Early data/fin frames for channels whose SYN has not landed yet; parks
+  // the received frame itself (shared, not re-encoded).
+  std::map<std::pair<NodeId, std::uint64_t>, std::vector<Payload>> pending_frames_;
   std::set<NodeId> bound_hosts_;
 };
 

@@ -19,6 +19,7 @@
 #include "util/bytes.hpp"
 #include "util/calibration.hpp"
 #include "util/ids.hpp"
+#include "util/payload.hpp"
 #include "util/rng.hpp"
 
 namespace vdep::net {
@@ -33,7 +34,9 @@ struct Packet {
   NodeId src;
   NodeId dst;
   Port port = Port::kTcp;
-  Bytes payload;
+  // Frozen frame, shared (not copied) with the sender's retransmit state and
+  // with any other in-flight copies of a fan-out.
+  Payload payload;
   // Total bytes on the wire including framing; used for bandwidth accounting
   // and serialization delay. Filled by Network::send if left 0.
   std::size_t wire_bytes = 0;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "util/bytes.hpp"
@@ -47,7 +48,8 @@ class CdrWriter {
 class CdrReader {
  public:
   // `little_endian` is the stream's byte-order flag (from the GIOP header).
-  explicit CdrReader(const Bytes& data, bool little_endian = true)
+  // The reader aliases `data`; it must not outlive the underlying buffer.
+  explicit CdrReader(std::span<const std::uint8_t> data, bool little_endian = true)
       : data_(data), little_(little_endian) {}
 
   [[nodiscard]] std::uint8_t octet();
@@ -69,7 +71,7 @@ class CdrReader {
   [[nodiscard]] T raw(std::size_t alignment);
   void need(std::size_t n) const;
 
-  const Bytes& data_;
+  std::span<const std::uint8_t> data_;
   bool little_;
   std::size_t pos_ = 0;
 };

@@ -136,7 +136,7 @@ Bytes CancelRequestMessage::encode() const {
   return out;
 }
 
-GiopMsgType peek_giop_type(const Bytes& raw) {
+GiopMsgType peek_giop_type(std::span<const std::uint8_t> raw) {
   if (raw.size() < 12) throw DecodeError("truncated GIOP header");
   const auto type = raw[7];
   if (type > static_cast<std::uint8_t>(GiopMsgType::kMessageError)) {
@@ -145,7 +145,7 @@ GiopMsgType peek_giop_type(const Bytes& raw) {
   return static_cast<GiopMsgType>(type);
 }
 
-GiopMessage decode_giop(const Bytes& raw) {
+GiopMessage decode_giop(std::span<const std::uint8_t> raw) {
   CdrReader r(raw);
   const Header h = read_header(r);
   CdrReader body_reader(raw, h.little_endian);

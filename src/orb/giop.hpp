@@ -93,9 +93,9 @@ struct GiopMessage {
   std::optional<CancelRequestMessage> cancel;  // kCancelRequest
 };
 
-[[nodiscard]] GiopMessage decode_giop(const Bytes& raw);
+[[nodiscard]] GiopMessage decode_giop(std::span<const std::uint8_t> raw);
 
 // Convenience peeks that avoid a full decode on hot paths.
-[[nodiscard]] GiopMsgType peek_giop_type(const Bytes& raw);
+[[nodiscard]] GiopMsgType peek_giop_type(std::span<const std::uint8_t> raw);
 
 }  // namespace vdep::orb

@@ -14,7 +14,7 @@ ClientOrb::ClientOrb(net::Network& network, sim::Process& process,
 void ClientOrb::use_transport(std::unique_ptr<ClientTransport> transport) {
   transport_ = std::move(transport);
   const std::uint64_t incarnation = process_.incarnation();
-  transport_->set_reply_handler([this, incarnation](Bytes&& giop) {
+  transport_->set_reply_handler([this, incarnation](Payload&& giop) {
     if (!process_.alive() || process_.incarnation() != incarnation) return;
     on_reply_bytes(std::move(giop));
   });
@@ -43,7 +43,7 @@ void ClientOrb::cancel(std::uint32_t request_id) {
   if (transport_) transport_->cancel(request_id);
 }
 
-void ClientOrb::on_reply_bytes(Bytes&& giop) {
+void ClientOrb::on_reply_bytes(Payload&& giop) {
   network_.cpu(process_.host())
       .execute(traversal_cost_, process_.guarded([this, raw = std::move(giop)] {
         GiopMessage msg = decode_giop(raw);
@@ -65,7 +65,7 @@ ServerOrb::ServerOrb(net::Network& network, sim::Process& process, Poa& poa,
                      SimTime traversal_cost)
     : network_(network), process_(process), poa_(poa), traversal_cost_(traversal_cost) {}
 
-void ServerOrb::handle_request(Bytes giop_request, ReplySender send_reply) {
+void ServerOrb::handle_request(Payload giop_request, ReplySender send_reply) {
   network_.cpu(process_.host())
       .execute(
           traversal_cost_,
@@ -110,13 +110,13 @@ DirectClientTransport::DirectClientTransport(net::ChannelManager& channels,
                                              NodeId local_host)
     : channels_(channels), local_(local_host) {}
 
-void DirectClientTransport::send_request(const ObjectRef& ref, Bytes giop) {
+void DirectClientTransport::send_request(const ObjectRef& ref, Payload giop) {
   VDEP_ASSERT_MSG(ref.direct.has_value(), "direct transport needs a direct profile");
   const auto key = std::make_pair(ref.direct->host, ref.direct->port);
   auto it = connections_.find(key);
   if (it == connections_.end()) {
     auto channel = channels_.connect(local_, ref.direct->host, ref.direct->port);
-    channel->set_receive_handler([this](Bytes&& reply) { deliver_reply(std::move(reply)); });
+    channel->set_receive_handler([this](Payload&& reply) { deliver_reply(std::move(reply)); });
     it = connections_.emplace(key, std::move(channel)).first;
   }
   it->second->send(std::move(giop));
@@ -128,8 +128,8 @@ DirectServerAcceptor::DirectServerAcceptor(net::ChannelManager& channels, NodeId
   channels_.listen(host, port, [this, &orb](net::ChannelPtr channel) {
     accepted_.push_back(channel);
     std::weak_ptr<net::Channel> weak = channel;
-    channel->set_receive_handler([&orb, weak](Bytes&& request) {
-      orb.handle_request(std::move(request), [weak](Bytes reply) {
+    channel->set_receive_handler([&orb, weak](Payload&& request) {
+      orb.handle_request(std::move(request), [weak](Payload reply) {
         if (auto ch = weak.lock(); ch && ch->open()) ch->send(std::move(reply));
       });
     });

@@ -26,16 +26,16 @@ class ClientTransport {
  public:
   virtual ~ClientTransport() = default;
 
-  using ReplyHandler = std::function<void(Bytes&&)>;
+  using ReplyHandler = std::function<void(Payload&&)>;
 
-  virtual void send_request(const ObjectRef& ref, Bytes giop) = 0;
+  virtual void send_request(const ObjectRef& ref, Payload giop) = 0;
   // Best-effort: stop work for an abandoned request.
   virtual void cancel(std::uint32_t /*request_id*/) {}
 
   void set_reply_handler(ReplyHandler handler) { on_reply_ = std::move(handler); }
 
  protected:
-  void deliver_reply(Bytes&& giop) {
+  void deliver_reply(Payload&& giop) {
     if (on_reply_) on_reply_(std::move(giop));
   }
 
@@ -66,7 +66,7 @@ class ClientOrb {
   [[nodiscard]] sim::Process& process() { return process_; }
 
  private:
-  void on_reply_bytes(Bytes&& giop);
+  void on_reply_bytes(Payload&& giop);
 
   net::Network& network_;
   sim::Process& process_;
@@ -81,11 +81,11 @@ class ServerOrb {
   ServerOrb(net::Network& network, sim::Process& process, Poa& poa,
             SimTime traversal_cost = calib::kOrbTraversal);
 
-  using ReplySender = std::function<void(Bytes giop_reply)>;
+  using ReplySender = std::function<void(Payload giop_reply)>;
 
   // Feeds one GIOP request; unmarshals, dispatches, and (if a response is
   // expected) marshals the reply into `send_reply`.
-  void handle_request(Bytes giop_request, ReplySender send_reply);
+  void handle_request(Payload giop_request, ReplySender send_reply);
 
   [[nodiscard]] Poa& poa() { return poa_; }
   [[nodiscard]] sim::Process& process() { return process_; }
@@ -105,7 +105,7 @@ class DirectClientTransport final : public ClientTransport {
  public:
   DirectClientTransport(net::ChannelManager& channels, NodeId local_host);
 
-  void send_request(const ObjectRef& ref, Bytes giop) override;
+  void send_request(const ObjectRef& ref, Payload giop) override;
 
  private:
   net::ChannelManager& channels_;

@@ -7,6 +7,8 @@
 // replaying logged requests.
 #pragma once
 
+#include <span>
+
 #include "orb/poa.hpp"
 
 namespace vdep::replication {
@@ -15,7 +17,9 @@ class Checkpointable : public orb::Servant {
  public:
   // Full process-state snapshot (CDR/flat bytes; opaque to the replicator).
   [[nodiscard]] virtual Bytes snapshot() const = 0;
-  virtual void restore(const Bytes& snapshot) = 0;
+  // `snapshot` may alias a checkpoint frame still owned by the caller; the
+  // implementation must copy whatever it keeps.
+  virtual void restore(std::span<const std::uint8_t> snapshot) = 0;
 
   // Size used to model serialization cost and checkpoint bandwidth; usually
   // snapshot().size() but may be larger for apps with elaborate in-memory

@@ -19,7 +19,7 @@ ClientCoordinator::ClientCoordinator(net::Network& network, gcs::Daemon& daemon,
       [this](const gcs::PrivateMessage& msg) { on_private(msg); });
 }
 
-void ClientCoordinator::send_request(const orb::ObjectRef& ref, Bytes giop) {
+void ClientCoordinator::send_request(const orb::ObjectRef& ref, Payload giop) {
   VDEP_ASSERT_MSG(ref.group.has_value(),
                   "client coordinator needs a group profile in the object reference");
 
@@ -122,13 +122,13 @@ void ClientCoordinator::on_private(const gcs::PrivateMessage& msg) {
                  pending.exemplars.emplace(body_hash, raw);
                  const std::uint32_t view_size = std::max(pending.best_view_size, 1u);
                  if (static_cast<std::uint32_t>(count) >= view_size / 2 + 1) {
-                   Bytes winner = pending.exemplars[body_hash];
+                   Payload winner = pending.exemplars[body_hash];
                    complete(request_id, std::move(winner));
                  }
                }));
 }
 
-void ClientCoordinator::complete(std::uint32_t request_id, Bytes reply) {
+void ClientCoordinator::complete(std::uint32_t request_id, Payload reply) {
   auto it = outstanding_.find(request_id);
   if (it == outstanding_.end()) return;
   it->second.retry_timer.cancel();

@@ -43,7 +43,7 @@ class ClientCoordinator final : public orb::ClientTransport {
   ClientCoordinator(net::Network& network, gcs::Daemon& daemon, sim::Process& process,
                     ClientCoordinatorParams params = {});
 
-  void send_request(const orb::ObjectRef& ref, Bytes giop) override;
+  void send_request(const orb::ObjectRef& ref, Payload giop) override;
   void cancel(std::uint32_t request_id) override;
 
   [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
@@ -55,12 +55,12 @@ class ClientCoordinator final : public orb::ClientTransport {
  private:
   struct Pending {
     GroupId group;
-    Bytes wire;  // envelope bytes, ready to re-multicast
+    Payload wire;  // envelope frame, encoded once and shared across retries
     int retries = 0;
     sim::EventHandle retry_timer;
     // Voting state.
-    std::map<std::uint64_t, int> votes;        // body hash -> count
-    std::map<std::uint64_t, Bytes> exemplars;  // body hash -> a reply
+    std::map<std::uint64_t, int> votes;          // body hash -> count
+    std::map<std::uint64_t, Payload> exemplars;  // body hash -> a reply
     std::set<ProcessId> voters;
     std::uint32_t best_view_size = 0;
   };
@@ -68,7 +68,7 @@ class ClientCoordinator final : public orb::ClientTransport {
   void on_private(const gcs::PrivateMessage& msg);
   void transmit(std::uint32_t request_id, Pending& pending);
   void arm_retry(std::uint32_t request_id);
-  void complete(std::uint32_t request_id, Bytes reply);
+  void complete(std::uint32_t request_id, Payload reply);
 
   net::Network& network_;
   sim::Process& process_;

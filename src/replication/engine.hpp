@@ -21,7 +21,7 @@ struct RequestRecord {
   RequestId rid;            // FT_REQUEST identity
   NodeId client_daemon;     // reply destination daemon
   SimTime expiration = kTimeZero;  // FT_REQUEST expiration (0 = none)
-  Bytes giop;               // raw GIOP request
+  Payload giop;             // raw GIOP request (aliases the delivered frame)
 };
 
 class ReplicationEngine {

@@ -12,6 +12,7 @@
 
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
+#include "util/payload.hpp"
 #include "util/time.hpp"
 
 namespace vdep::replication {
@@ -21,7 +22,7 @@ struct LoggedRequest {
   RequestId request_id;      // FT_REQUEST identity
   NodeId client_daemon;      // where to send the reply on replay
   SimTime expiration = kTimeZero;  // FT_REQUEST expiration (0 = none)
-  Bytes giop;                // the raw request
+  Payload giop;              // the raw request (shared with the RequestRecord)
 };
 
 class MessageLog {

@@ -107,7 +107,7 @@ void Replicator::on_group_message(const gcs::GroupMessage& msg) {
       }));
 }
 
-void Replicator::handle_request_envelope(const gcs::GroupMessage& /*msg*/, Bytes giop) {
+void Replicator::handle_request_envelope(const gcs::GroupMessage& /*msg*/, Payload giop) {
   ++request_index_;
   rate_.record(process_.now());
 
@@ -301,7 +301,8 @@ void Replicator::execute_request(const RequestRecord& rec, bool send_reply) {
   ++executions_since_checkpoint_;
   orb_.handle_request(rec.giop, [this, rid = rec.rid,
                                  client_daemon = rec.client_daemon,
-                                 send_reply](Bytes reply_giop) {
+                                 send_reply](Payload reply_giop) {
+    // The cache entry and the reply in flight share one buffer.
     reply_cache_.put(rid, reply_giop);
     if (send_reply) {
       RequestRecord stub;
@@ -318,7 +319,7 @@ void Replicator::log_request(const RequestRecord& rec) {
       LoggedRequest{rec.index, rec.rid, rec.client_daemon, rec.expiration, rec.giop});
 }
 
-void Replicator::send_reply_to_client(const RequestRecord& rec, const Bytes& reply_giop) {
+void Replicator::send_reply_to_client(const RequestRecord& rec, const Payload& reply_giop) {
   // Interposition cost on the way out, then unicast to the client's daemon.
   network_.cpu(process_.host())
       .execute(params_.traversal_cost,
@@ -328,7 +329,7 @@ void Replicator::send_reply_to_client(const RequestRecord& rec, const Bytes& rep
                }));
 }
 
-Bytes Replicator::augment_reply(const Bytes& reply_giop) const {
+Bytes Replicator::augment_reply(const Payload& reply_giop) const {
   orb::GiopMessage parsed = orb::decode_giop(reply_giop);
   VDEP_ASSERT(parsed.reply.has_value());
   orb::CdrWriter w;
@@ -397,12 +398,14 @@ void Replicator::install_checkpoint(const CheckpointMsg& msg) {
   // The state now *is* the snapshot; the applied frontier must match it, and
   // any checkpoint retained for a cold launch is superseded.
   applied_rid_ = msg.applied;
-  stored_checkpoint_.reset();
   log_.truncate_applied(msg.applied);
+  const std::size_t state_size = msg.app_state.size();
+  // `msg` may alias `*stored_checkpoint_` (cold launch installs the retained
+  // snapshot), so the supersede must come after the last read of `msg`.
+  stored_checkpoint_.reset();
   // Deserialization cost: occupy the CPU (delays whatever comes next).
   network_.cpu(process_.host())
-      .execute(snapshot_cpu_time(msg.app_state.size(), params_.snapshot_bytes_per_sec),
-               [] {});
+      .execute(snapshot_cpu_time(state_size, params_.snapshot_bytes_per_sec), [] {});
 }
 
 void Replicator::store_checkpoint(const CheckpointMsg& msg) {

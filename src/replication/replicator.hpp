@@ -137,13 +137,13 @@ class Replicator {
  private:
   void on_group_message(const gcs::GroupMessage& msg);
   void on_view(const gcs::View& view);
-  void handle_request_envelope(const gcs::GroupMessage& msg, Bytes giop);
+  void handle_request_envelope(const gcs::GroupMessage& msg, Payload giop);
   void handle_checkpoint(const CheckpointMsg& msg);
   void handle_switch(const SwitchMsg& msg);
   void complete_switch();
   void drain_holdq();
-  void send_reply_to_client(const RequestRecord& rec, const Bytes& reply_giop);
-  [[nodiscard]] Bytes augment_reply(const Bytes& reply_giop) const;
+  void send_reply_to_client(const RequestRecord& rec, const Payload& reply_giop);
+  [[nodiscard]] Bytes augment_reply(const Payload& reply_giop) const;
   void arm_engine_timer();
   [[nodiscard]] std::unique_ptr<ReplicationEngine> make_engine(ReplicationStyle style);
   [[nodiscard]] static bool needs_final_checkpoint(ReplicationStyle from,

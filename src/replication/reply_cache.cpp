@@ -8,7 +8,7 @@ ReplyCache::ReplyCache(std::size_t capacity) : capacity_(capacity) {
   VDEP_ASSERT(capacity > 0);
 }
 
-void ReplyCache::put(const RequestId& id, Bytes reply_giop) {
+void ReplyCache::put(const RequestId& id, Payload reply_giop) {
   auto [it, inserted] = entries_.emplace(id, std::move(reply_giop));
   if (!inserted) {
     // Replay after failover can re-record a reply; deterministic execution
@@ -26,7 +26,7 @@ void ReplyCache::evict_to_capacity() {
   }
 }
 
-std::optional<Bytes> ReplyCache::get(const RequestId& id) const {
+std::optional<Payload> ReplyCache::get(const RequestId& id) const {
   auto it = entries_.find(id);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
@@ -50,15 +50,15 @@ Bytes ReplyCache::serialize_recent(std::size_t max_entries) const {
   return std::move(w).take();
 }
 
-void ReplyCache::restore(const Bytes& raw) {
+void ReplyCache::restore(const Payload& raw) {
   clear();
-  ByteReader r(raw);
+  ByteReader r(raw.owner(), raw);
   const auto n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
     RequestId id;
     id.client = ProcessId{r.u64()};
     id.seq = r.u64();
-    put(id, r.bytes());
+    put(id, read_payload(r));
   }
 }
 

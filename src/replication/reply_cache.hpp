@@ -17,6 +17,7 @@
 
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
+#include "util/payload.hpp"
 
 namespace vdep::replication {
 
@@ -25,9 +26,10 @@ class ReplyCache {
   explicit ReplyCache(std::size_t capacity = 4096);
 
   // Records the reply for a request; evicts the oldest entry at capacity.
-  void put(const RequestId& id, Bytes reply_giop);
+  // The cached buffer is shared with the reply in flight, not copied.
+  void put(const RequestId& id, Payload reply_giop);
 
-  [[nodiscard]] std::optional<Bytes> get(const RequestId& id) const;
+  [[nodiscard]] std::optional<Payload> get(const RequestId& id) const;
   [[nodiscard]] bool contains(const RequestId& id) const;
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -37,7 +39,8 @@ class ReplyCache {
   // replies are past the client retransmission window (FT-CORBA's request
   // duration policy), so a promoted backup never needs them.
   [[nodiscard]] Bytes serialize_recent(std::size_t max_entries) const;
-  void restore(const Bytes& raw);
+  // Restored entries alias `raw`'s buffer when it carries an owner.
+  void restore(const Payload& raw);
   void clear();
 
  private:
@@ -47,7 +50,7 @@ class ReplyCache {
   // Insertion-ordered FIFO eviction; a map from id to the reply plus the FIFO
   // queue of ids. (LRU would touch on get; FIFO matches "old requests have
   // expired" semantics from FT-CORBA's request duration policy.)
-  std::map<RequestId, Bytes> entries_;
+  std::map<RequestId, Payload> entries_;
   std::list<RequestId> order_;
 };
 

@@ -39,13 +39,13 @@ Bytes RepEnvelope::encode() const {
   return std::move(w).take();
 }
 
-RepEnvelope RepEnvelope::decode(const Bytes& raw) {
-  ByteReader r(raw);
+RepEnvelope RepEnvelope::decode(const Payload& raw) {
+  ByteReader r(raw.owner(), raw);
   RepEnvelope e;
   const auto t = r.u8();
-  if (t < 1 || t > 4) throw DecodeError("bad envelope type");
+  if (t < 1 || t > 4) throw r.error("bad envelope type", 0);
   e.type = static_cast<Type>(t);
-  e.payload = r.bytes();
+  e.payload = read_payload(r);
   return e;
 }
 
@@ -62,8 +62,8 @@ Bytes CheckpointMsg::encode() const {
   return std::move(w).take();
 }
 
-CheckpointMsg CheckpointMsg::decode(const Bytes& raw) {
-  ByteReader r(raw);
+CheckpointMsg CheckpointMsg::decode(const Payload& raw) {
+  ByteReader r(raw.owner(), raw);
   CheckpointMsg m;
   m.checkpoint_id = r.u64();
   const auto n = r.u32();
@@ -71,8 +71,8 @@ CheckpointMsg CheckpointMsg::decode(const Bytes& raw) {
     const ProcessId client{r.u64()};
     m.applied[client] = r.u64();
   }
-  m.app_state = r.bytes();
-  m.reply_cache = r.bytes();
+  m.app_state = read_payload(r);
+  m.reply_cache = read_payload(r);
   return m;
 }
 
@@ -83,11 +83,11 @@ Bytes SwitchMsg::encode() const {
   return std::move(w).take();
 }
 
-SwitchMsg SwitchMsg::decode(const Bytes& raw) {
+SwitchMsg SwitchMsg::decode(std::span<const std::uint8_t> raw) {
   ByteReader r(raw);
   SwitchMsg m;
   const auto t = r.u8();
-  if (t > 4) throw DecodeError("bad switch target");
+  if (t > 4) throw r.error("bad switch target", 0);
   m.target = static_cast<ReplicationStyle>(t);
   m.initiator = ProcessId{r.u64()};
   return m;

@@ -24,6 +24,7 @@
 
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
+#include "util/payload.hpp"
 #include "util/time.hpp"
 
 namespace vdep::replication {
@@ -51,10 +52,11 @@ struct RepEnvelope {
   };
 
   Type type = Type::kRequest;
-  Bytes payload;
+  Payload payload;
 
   [[nodiscard]] Bytes encode() const;
-  static RepEnvelope decode(const Bytes& raw);
+  // The decoded payload aliases `raw`'s buffer when it carries an owner.
+  static RepEnvelope decode(const Payload& raw);
 };
 
 // A checkpoint: the application snapshot plus everything a backup needs to
@@ -68,11 +70,11 @@ struct RepEnvelope {
 struct CheckpointMsg {
   std::uint64_t checkpoint_id = 0;
   std::map<ProcessId, std::uint64_t> applied;
-  Bytes app_state;
-  Bytes reply_cache;
+  Payload app_state;
+  Payload reply_cache;
 
   [[nodiscard]] Bytes encode() const;
-  static CheckpointMsg decode(const Bytes& raw);
+  static CheckpointMsg decode(const Payload& raw);
 };
 
 struct SwitchMsg {
@@ -82,7 +84,7 @@ struct SwitchMsg {
   ProcessId initiator;
 
   [[nodiscard]] Bytes encode() const;
-  static SwitchMsg decode(const Bytes& raw);
+  static SwitchMsg decode(std::span<const std::uint8_t> raw);
 };
 
 struct ReplicatorParams {

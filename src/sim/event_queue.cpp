@@ -4,21 +4,46 @@
 
 namespace vdep::sim {
 
-void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+namespace detail {
+
+std::uint32_t EventSlotPool::acquire() {
+  if (!free.empty()) {
+    std::uint32_t idx = free.back();
+    free.pop_back();
+    slots[idx].cancelled = false;
+    return idx;
+  }
+  slots.push_back(Slot{});
+  return static_cast<std::uint32_t>(slots.size() - 1);
 }
 
-bool EventHandle::active() const { return cancelled_ && !*cancelled_; }
+void EventSlotPool::retire(std::uint32_t idx) {
+  // Bumping the generation invalidates every outstanding handle for this
+  // event; the slot is then free to be reused by a future schedule().
+  ++slots[idx].gen;
+  free.push_back(idx);
+}
+
+}  // namespace detail
+
+void EventHandle::cancel() {
+  if (pool_ && pool_->current(slot_, gen_)) pool_->slots[slot_].cancelled = true;
+}
+
+bool EventHandle::active() const {
+  return pool_ && pool_->current(slot_, gen_) && !pool_->slots[slot_].cancelled;
+}
 
 EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
-  auto cancelled = std::make_shared<bool>(false);
-  heap_.push(Entry{at, seq_++, cancelled, std::move(fn)});
+  const std::uint32_t slot = pool_->acquire();
+  heap_.push(Entry{at, seq_++, slot, std::move(fn)});
   ++live_;
-  return EventHandle{std::move(cancelled)};
+  return EventHandle{pool_, slot, pool_->slots[slot].gen};
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && *heap_.top().cancelled) {
+  while (!heap_.empty() && pool_->slots[heap_.top().slot].cancelled) {
+    pool_->retire(heap_.top().slot);
     heap_.pop();
     --live_;
   }
@@ -42,7 +67,7 @@ EventQueue::Popped EventQueue::pop() {
   Popped out{top.at, std::move(top.fn)};
   // A popped event is no longer pending: its handle reports inactive, and a
   // late cancel() becomes a harmless no-op.
-  *top.cancelled = true;
+  pool_->retire(top.slot);
   heap_.pop();
   --live_;
   return out;

@@ -16,10 +16,36 @@ namespace vdep::sim {
 
 using EventFn = std::function<void()>;
 
+namespace detail {
+
+// Generation-counted slot pool backing event cancellation. One pool per
+// queue: scheduling an event claims a slot (recycled from the free list, so
+// the steady state performs no allocation — unlike a shared_ptr<bool> per
+// event), and popping or dropping the event retires it, bumping the
+// generation so stale handles go inert.
+struct EventSlotPool {
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+  };
+
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> free;
+
+  std::uint32_t acquire();
+  void retire(std::uint32_t idx);
+  [[nodiscard]] bool current(std::uint32_t idx, std::uint32_t gen) const {
+    return slots[idx].gen == gen;
+  }
+};
+
+}  // namespace detail
+
 // Handle for cancelling a scheduled event. Default-constructed handles are
 // inert. Cancellation is O(1): the event stays in the heap but is skipped.
 // active() means "still pending": false before scheduling, after cancel(),
-// and after the event has fired.
+// and after the event has fired. Copies share cancellation state. Handles
+// hold the pool alive, so they remain safe after the queue is destroyed.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -29,10 +55,13 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
+  EventHandle(std::shared_ptr<detail::EventSlotPool> pool, std::uint32_t slot,
+              std::uint32_t gen)
+      : pool_(std::move(pool)), slot_(slot), gen_(gen) {}
 
-  std::shared_ptr<bool> cancelled_;
+  std::shared_ptr<detail::EventSlotPool> pool_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class EventQueue {
@@ -61,8 +90,9 @@ class EventQueue {
   struct Entry {
     SimTime at;
     std::uint64_t seq;
-    // Shared with EventHandle; true once cancelled.
-    std::shared_ptr<bool> cancelled;
+    // Slot in the queue's pool; the generation is implicitly current while
+    // the entry sits in the heap (slots are retired only on pop/drop).
+    std::uint32_t slot;
     // Mutable so pop() can move the closure out of the priority queue's
     // const top() without copying.
     mutable EventFn fn;
@@ -75,6 +105,8 @@ class EventQueue {
 
   void drop_cancelled() const;
 
+  std::shared_ptr<detail::EventSlotPool> pool_ =
+      std::make_shared<detail::EventSlotPool>();
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   mutable std::size_t live_ = 0;
   std::uint64_t seq_ = 0;

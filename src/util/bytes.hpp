@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -68,10 +69,18 @@ class ByteWriter {
   Bytes buf_;
 };
 
-// Reads values written by ByteWriter. Throws DecodeError on underrun.
+// Reads values written by ByteWriter. Throws DecodeError on underrun; error
+// messages carry the reader position so malformed frames are diagnosable.
+//
+// A reader may carry an `owner` keepalive for the frame it reads from; when
+// present, bytes_view()/str_view() results (and Payloads cut from them via
+// read_payload) may safely alias the frame, since whoever holds the owner
+// keeps the storage alive.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  ByteReader(std::shared_ptr<const void> owner, std::span<const std::uint8_t> data)
+      : data_(data), owner_(std::move(owner)) {}
 
   [[nodiscard]] std::uint8_t u8() { return take(1)[0]; }
   [[nodiscard]] std::uint16_t u16() { return raw_int<std::uint16_t>(); }
@@ -86,27 +95,48 @@ class ByteReader {
   }
   [[nodiscard]] bool boolean() {
     std::uint8_t v = u8();
-    if (v > 1) throw DecodeError("boolean out of range");
+    if (v > 1) throw error("boolean out of range", pos_ - 1);
     return v == 1;
   }
 
   [[nodiscard]] Bytes bytes() {
-    const std::uint32_t n = u32();
-    auto s = take(n);
+    auto s = bytes_view();
     return Bytes(s.begin(), s.end());
   }
   [[nodiscard]] std::string str() {
-    const std::uint32_t n = u32();
-    auto s = take(n);
-    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+    auto s = str_view();
+    return std::string(s);
   }
 
+  // Non-copying accessors: the returned view aliases the reader's buffer and
+  // is only valid while that buffer (or the reader's owner) lives.
+  [[nodiscard]] std::span<const std::uint8_t> bytes_view() {
+    const std::uint32_t n = u32();
+    return take(n);
+  }
+  [[nodiscard]] std::string_view str_view() {
+    auto s = bytes_view();
+    return std::string_view(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool at_end() const { return remaining() == 0; }
+  [[nodiscard]] const std::shared_ptr<const void>& owner() const { return owner_; }
+
+  // Builds a DecodeError annotated with the current (or given) position, for
+  // range checks performed by message decoders on top of this reader.
+  [[nodiscard]] DecodeError error(const std::string& what) const {
+    return error(what, pos_);
+  }
+  [[nodiscard]] DecodeError error(const std::string& what, std::size_t at) const {
+    return DecodeError(what + " at byte " + std::to_string(at) + " of " +
+                       std::to_string(data_.size()));
+  }
 
  private:
   std::span<const std::uint8_t> take(std::size_t n) {
-    if (remaining() < n) throw DecodeError("buffer underrun");
+    if (remaining() < n) throw error("buffer underrun");
     auto s = data_.subspan(pos_, n);
     pos_ += n;
     return s;
@@ -123,6 +153,7 @@ class ByteReader {
   }
 
   std::span<const std::uint8_t> data_;
+  std::shared_ptr<const void> owner_;
   std::size_t pos_ = 0;
 };
 

@@ -1,0 +1,11 @@
+#include "util/payload.hpp"
+
+namespace vdep {
+
+Payload read_payload(ByteReader& r) {
+  auto v = r.bytes_view();
+  if (const auto& o = r.owner()) return Payload(o, v);
+  return Payload::copy_of(v);
+}
+
+}  // namespace vdep

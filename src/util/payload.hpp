@@ -1,0 +1,85 @@
+// Immutable, ref-counted byte buffer slices for the message hot path.
+//
+// A Payload is a frozen view onto a shared byte buffer: copying one is a
+// pointer copy plus a refcount bump, never a byte copy. This is what lets the
+// leader daemon encode a fan-out frame once and hand the same buffer to every
+// destination, and what lets decode alias sub-ranges of a received frame
+// (via the owner-aware ByteReader) instead of splicing them out.
+//
+// Invariants:
+//  - The underlying buffer is never mutated after the Payload is built.
+//  - An aliasing Payload keeps its owning buffer alive via `owner_`; a view
+//    taken *without* an owner (plain span) must not outlive the frame it was
+//    cut from — use copy_of() when in doubt.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace vdep {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  // Freezes a buffer. Implicit on rvalues only: adopting a Bytes is one move,
+  // while adopting an lvalue would silently deep-copy — spell that copy_of().
+  Payload(Bytes&& buf)  // NOLINT(google-explicit-constructor)
+      : Payload(std::make_shared<const Bytes>(std::move(buf))) {}
+
+  explicit Payload(std::shared_ptr<const Bytes> buf)
+      : owner_(buf), data_(buf ? buf->data() : nullptr), size_(buf ? buf->size() : 0) {}
+
+  // Aliasing view: `view` must point into storage kept alive by `owner`.
+  Payload(std::shared_ptr<const void> owner, std::span<const std::uint8_t> view)
+      : owner_(std::move(owner)), data_(view.data()), size_(view.size()) {}
+
+  [[nodiscard]] static Payload copy_of(std::span<const std::uint8_t> view) {
+    return Payload(Bytes(view.begin(), view.end()));
+  }
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const std::uint8_t* begin() const { return data_; }
+  [[nodiscard]] const std::uint8_t* end() const { return data_ + size_; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::span<const std::uint8_t> view() const { return {data_, size_}; }
+  operator std::span<const std::uint8_t>() const { return view(); }  // NOLINT
+
+  // Deep copy back into a plain vector (boundary to non-Payload APIs).
+  [[nodiscard]] Bytes to_bytes() const { return Bytes(begin(), end()); }
+
+  // Number of Payloads (and readers) sharing the underlying buffer.
+  // Diagnostic only — used by tests to assert fan-out really shares.
+  [[nodiscard]] long use_count() const { return owner_.use_count(); }
+
+  // Keepalive for the underlying buffer; pass to ByteReader so decoded
+  // sub-views can alias this frame.
+  [[nodiscard]] const std::shared_ptr<const void>& owner() const { return owner_; }
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const Payload& a, const Bytes& b) {
+    return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const Bytes& a, const Payload& b) { return b == a; }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// Reads a length-prefixed blob as a Payload. Aliases the reader's frame when
+// the reader carries an owner (zero-copy); deep-copies otherwise so the
+// result is always safe to retain.
+[[nodiscard]] Payload read_payload(ByteReader& r);
+
+}  // namespace vdep

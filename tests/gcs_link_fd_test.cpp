@@ -17,12 +17,16 @@ struct LinkFixture : ::testing::Test {
 
     link_a = std::make_unique<ReliableLink>(
         *pa, network,
-        [this](NodeId from, Bytes&& inner) { at_a.push_back({from, std::move(inner)}); },
-        [this](NodeId from, Bytes&&) { raw_a.push_back(from); });
+        [this](NodeId from, Payload&& inner) {
+          at_a.push_back({from, std::move(inner)});
+        },
+        [this](NodeId from, Payload&&) { raw_a.push_back(from); });
     link_b = std::make_unique<ReliableLink>(
         *pb, network,
-        [this](NodeId from, Bytes&& inner) { at_b.push_back({from, std::move(inner)}); },
-        [this](NodeId from, Bytes&&) { raw_b.push_back(from); });
+        [this](NodeId from, Payload&& inner) {
+          at_b.push_back({from, std::move(inner)});
+        },
+        [this](NodeId from, Payload&&) { raw_b.push_back(from); });
 
     network.bind(a, net::Port::kGcsDaemon,
                  [this](net::Packet&& p) { link_a->handle_packet(std::move(p)); });
@@ -35,7 +39,7 @@ struct LinkFixture : ::testing::Test {
   NodeId a, b;
   std::unique_ptr<sim::Process> pa, pb;
   std::unique_ptr<ReliableLink> link_a, link_b;
-  std::vector<std::pair<NodeId, Bytes>> at_a, at_b;
+  std::vector<std::pair<NodeId, Payload>> at_a, at_b;
   std::vector<NodeId> raw_a, raw_b;
 };
 

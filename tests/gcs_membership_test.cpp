@@ -35,11 +35,15 @@ Forward make_data(ProcessId p, NodeId daemon, std::uint64_t seq,
   return f;
 }
 
+// Flattens the per-message emissions back to (destination, message) pairs —
+// one per destination — matching the order the daemon transmits them in.
 template <typename T>
 std::vector<std::pair<NodeId, T>> collect(const LeaderState::Emissions& emissions) {
   std::vector<std::pair<NodeId, T>> out;
   for (const auto& e : emissions) {
-    if (const auto* m = std::get_if<T>(&e.msg)) out.push_back({e.to, *m});
+    if (const auto* m = std::get_if<T>(&e.msg)) {
+      for (NodeId to : e.dests) out.push_back({to, *m});
+    }
   }
   return out;
 }
@@ -187,7 +191,9 @@ TEST(LeaderState, DaemonDeathRemovesItsProcessesAndUnblocksStability) {
   ASSERT_GE(views.size(), 1u);
   EXPECT_FALSE(leader.current_view(kGroup)->contains(kP2));
   // No emission goes to the dead daemon.
-  for (const auto& e : emissions) EXPECT_NE(e.to, kD2);
+  for (const auto& e : emissions) {
+    for (NodeId to : e.dests) EXPECT_NE(to, kD2);
+  }
   // With kD2 out of the must-ack set, stability advances on the next token.
   auto published = leader.publish_stability();
   EXPECT_FALSE(collect<StableMsg>(published).empty());

@@ -18,20 +18,22 @@ struct ChannelFixture : ::testing::Test {
 };
 
 TEST_F(ChannelFixture, ConnectAcceptAndExchange) {
-  std::vector<Bytes> at_server;
-  std::vector<Bytes> at_client;
+  std::vector<Payload> at_server;
+  std::vector<Payload> at_client;
   ChannelPtr server_side;
 
   channels.listen(b, 7000, [&](ChannelPtr ch) {
     server_side = ch;
-    ch->set_receive_handler([&, ch](Bytes&& msg) {
+    // Capture a raw pointer: the handler lives on the channel itself, so a
+    // ChannelPtr capture would form a reference cycle. `server_side` owns it.
+    ch->set_receive_handler([&, raw = ch.get()](Payload&& msg) {
       at_server.push_back(msg);
-      ch->send(Bytes{9, 9});
+      raw->send(Bytes{9, 9});
     });
   });
 
   auto client = channels.connect(a, b, 7000);
-  client->set_receive_handler([&](Bytes&& msg) { at_client.push_back(std::move(msg)); });
+  client->set_receive_handler([&](Payload&& msg) { at_client.push_back(std::move(msg)); });
   client->send(Bytes{1, 2, 3});
   kernel.run();
 
@@ -42,9 +44,9 @@ TEST_F(ChannelFixture, ConnectAcceptAndExchange) {
 }
 
 TEST_F(ChannelFixture, MessageBoundariesPreservedInOrder) {
-  std::vector<Bytes> received;
+  std::vector<Payload> received;
   channels.listen(b, 7000, [&](ChannelPtr ch) {
-    ch->set_receive_handler([&](Bytes&& msg) { received.push_back(std::move(msg)); });
+    ch->set_receive_handler([&](Payload&& msg) { received.push_back(std::move(msg)); });
     // Keep the server side alive.
     static ChannelPtr keep;
     keep = ch;
@@ -62,11 +64,11 @@ TEST_F(ChannelFixture, InOrderDespiteLossyLink) {
   lossy.loss_probability = 0.3;
   network.set_link_params(a, b, lossy);
 
-  std::vector<Bytes> received;
+  std::vector<Payload> received;
   channels.listen(b, 7000, [&](ChannelPtr ch) {
     static ChannelPtr keep;
     keep = ch;
-    ch->set_receive_handler([&](Bytes&& msg) { received.push_back(std::move(msg)); });
+    ch->set_receive_handler([&](Payload&& msg) { received.push_back(std::move(msg)); });
   });
   auto client = channels.connect(a, b, 7000);
   for (std::uint8_t i = 0; i < 30; ++i) client->send(Bytes{i});
@@ -77,11 +79,11 @@ TEST_F(ChannelFixture, InOrderDespiteLossyLink) {
 
 TEST_F(ChannelFixture, DataSentBeforeAcceptIsBuffered) {
   // The SYN and the first DATA race; receiver parks early data.
-  std::vector<Bytes> received;
+  std::vector<Payload> received;
   channels.listen(b, 7000, [&](ChannelPtr ch) {
     static ChannelPtr keep;
     keep = ch;
-    ch->set_receive_handler([&](Bytes&& msg) { received.push_back(std::move(msg)); });
+    ch->set_receive_handler([&](Payload&& msg) { received.push_back(std::move(msg)); });
   });
   auto client = channels.connect(a, b, 7000);
   client->send(Bytes{42});  // sent immediately, likely lands with/after SYN
@@ -93,7 +95,7 @@ TEST_F(ChannelFixture, DataSentBeforeAcceptIsBuffered) {
 TEST_F(ChannelFixture, SynToClosedPortIsDropped) {
   auto client = channels.connect(a, b, 7001);  // nobody listening
   bool got = false;
-  client->set_receive_handler([&](Bytes&&) { got = true; });
+  client->set_receive_handler([&](Payload&&) { got = true; });
   client->send(Bytes{1});
   kernel.run();
   EXPECT_FALSE(got);
@@ -117,11 +119,11 @@ TEST_F(ChannelFixture, CloseNotifiesPeer) {
 }
 
 TEST_F(ChannelFixture, SendAfterCloseIsNoOp) {
-  std::vector<Bytes> received;
+  std::vector<Payload> received;
   channels.listen(b, 7000, [&](ChannelPtr ch) {
     static ChannelPtr keep;
     keep = ch;
-    ch->set_receive_handler([&](Bytes&& msg) { received.push_back(std::move(msg)); });
+    ch->set_receive_handler([&](Payload&& msg) { received.push_back(std::move(msg)); });
   });
   auto client = channels.connect(a, b, 7000);
   client->close();
@@ -135,9 +137,8 @@ TEST_F(ChannelFixture, MultipleConcurrentChannels) {
   channels.listen(b, 7000, [&](ChannelPtr ch) {
     static std::vector<ChannelPtr> keep;
     keep.push_back(ch);
-    ch->set_receive_handler([&, ch](Bytes&& msg) {
-      received.push_back(static_cast<int>(msg[0]));
-    });
+    ch->set_receive_handler(
+        [&](Payload&& msg) { received.push_back(static_cast<int>(msg[0])); });
   });
   auto c1 = channels.connect(a, b, 7000);
   auto c2 = channels.connect(a, b, 7000);

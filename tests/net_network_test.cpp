@@ -13,7 +13,7 @@ struct NetFixture : ::testing::Test {
     b = network.add_host("b");
   }
 
-  void bind_collector(NodeId host, std::vector<Bytes>& sink) {
+  void bind_collector(NodeId host, std::vector<Payload>& sink) {
     network.bind(host, Port::kTcp, [&sink](Packet&& p) {
       sink.push_back(std::move(p.payload));
     });
@@ -34,7 +34,7 @@ struct NetFixture : ::testing::Test {
 };
 
 TEST_F(NetFixture, DeliversToBoundHandler) {
-  std::vector<Bytes> got;
+  std::vector<Payload> got;
   bind_collector(b, got);
   network.send(make_packet(a, b));
   kernel.run();
@@ -43,7 +43,7 @@ TEST_F(NetFixture, DeliversToBoundHandler) {
 }
 
 TEST_F(NetFixture, PropagationAndSerializationDelay) {
-  std::vector<Bytes> got;
+  std::vector<Payload> got;
   SimTime arrival = kTimeZero;
   network.bind(b, Port::kTcp, [&](Packet&&) { arrival = kernel.now(); });
   LinkParams link;
@@ -78,7 +78,7 @@ TEST_F(NetFixture, SerializationQueuesBackToBack) {
 }
 
 TEST_F(NetFixture, LoopbackIsFreeAndUncounted) {
-  std::vector<Bytes> got;
+  std::vector<Payload> got;
   bind_collector(a, got);
   network.send(make_packet(a, a));
   kernel.run();
@@ -87,7 +87,7 @@ TEST_F(NetFixture, LoopbackIsFreeAndUncounted) {
 }
 
 TEST_F(NetFixture, AccountingCountsWireBytes) {
-  std::vector<Bytes> got;
+  std::vector<Payload> got;
   bind_collector(b, got);
   Packet p = make_packet(a, b);
   p.wire_bytes = 500;
@@ -100,7 +100,7 @@ TEST_F(NetFixture, AccountingCountsWireBytes) {
 }
 
 TEST_F(NetFixture, UncountedControlTrafficExcluded) {
-  std::vector<Bytes> got;
+  std::vector<Payload> got;
   bind_collector(b, got);
   Packet p = make_packet(a, b);
   p.counted = false;
@@ -111,7 +111,7 @@ TEST_F(NetFixture, UncountedControlTrafficExcluded) {
 }
 
 TEST_F(NetFixture, LossDropsUnreliablePackets) {
-  std::vector<Bytes> got;
+  std::vector<Payload> got;
   bind_collector(b, got);
   LinkParams link;
   link.loss_probability = 1.0;
@@ -137,7 +137,7 @@ TEST_F(NetFixture, ReliablePacketsSurviveLossWithPenalty) {
 }
 
 TEST_F(NetFixture, PartitionCutsBothDirections) {
-  std::vector<Bytes> got_a, got_b;
+  std::vector<Payload> got_a, got_b;
   bind_collector(a, got_a);
   bind_collector(b, got_b);
   network.partition({a}, {b});
@@ -155,7 +155,7 @@ TEST_F(NetFixture, PartitionCutsBothDirections) {
 }
 
 TEST_F(NetFixture, DeadHostNeitherSendsNorReceives) {
-  std::vector<Bytes> got;
+  std::vector<Payload> got;
   bind_collector(b, got);
   network.set_host_up(a, false);
   network.send(make_packet(a, b));
@@ -169,7 +169,7 @@ TEST_F(NetFixture, DeadHostNeitherSendsNorReceives) {
 }
 
 TEST_F(NetFixture, ResetTotalsClearsCounters) {
-  std::vector<Bytes> got;
+  std::vector<Payload> got;
   bind_collector(b, got);
   network.send(make_packet(a, b));
   kernel.run();

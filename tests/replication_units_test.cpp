@@ -147,7 +147,7 @@ TEST(Envelope, RoundTripAllTypes) {
 
 TEST(Envelope, BadTypeThrows) {
   Bytes junk{9, 0, 0, 0, 0};
-  EXPECT_THROW((void)RepEnvelope::decode(junk), DecodeError);
+  EXPECT_THROW((void)RepEnvelope::decode(Payload::copy_of(junk)), DecodeError);
 }
 
 TEST(CheckpointMsgCodec, RoundTrip) {
