@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds the substrate micro-benchmarks in Release mode and records their
-# results as BENCH_substrate.json at the repo root.
+# results as BENCH_substrate.json at the repo root, then runs the seeded
+# chaos campaign and records its summary as BENCH_chaos.json.
 #
 # Usage: bench/run_bench.sh [extra google-benchmark args...]
 set -euo pipefail
@@ -9,7 +10,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j"$(nproc)" --target micro_substrate
+cmake --build "${build_dir}" -j"$(nproc)" --target micro_substrate --target chaos_runner
 
 "${build_dir}/bench/micro_substrate" \
   --benchmark_format=json \
@@ -18,3 +19,6 @@ cmake --build "${build_dir}" -j"$(nproc)" --target micro_substrate
   "$@"
 
 echo "wrote ${repo_root}/BENCH_substrate.json"
+
+"${build_dir}/examples/chaos_runner" trials=200 seed=1 \
+  out="${repo_root}/BENCH_chaos.json"

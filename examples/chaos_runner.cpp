@@ -1,0 +1,118 @@
+// Chaos campaign runner: sweeps seeded fault-injection trials across the
+// dependability design space (replication style x replica count x checkpoint
+// frequency), judges every trial with the invariant oracles, and writes a
+// JSON summary (BENCH_chaos.json when driven by bench/run_bench.sh).
+//
+// Every trial is reproducible from the campaign seed and its index alone:
+//
+//   examples/chaos_runner trials=200 seed=1 out=BENCH_chaos.json
+//
+// On failure the minimal reproducer (after delta-debugging) is printed so it
+// can be pasted into a regression test.
+#include <cstdio>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "chaos/shrink.hpp"
+#include "util/config.hpp"
+
+using namespace vdep;
+
+namespace {
+
+void write_json(const std::string& path, const chaos::CampaignConfig& config,
+                const chaos::CampaignResult& result) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(config.seed));
+  std::fprintf(f, "  \"trials\": %d,\n", result.trials);
+  std::fprintf(f, "  \"passed\": %d,\n", result.passed);
+  std::fprintf(f, "  \"failed\": %d,\n", result.trials - result.passed);
+  std::fprintf(f, "  \"pass_rate\": %.4f,\n",
+               result.metrics.gauge("chaos.pass_rate").value_or(0.0));
+  if (const auto* rec = result.metrics.distribution("chaos.recovery_ms")) {
+    std::fprintf(f,
+                 "  \"recovery_ms\": {\"mean\": %.3f, \"stddev\": %.3f, "
+                 "\"min\": %.3f, \"max\": %.3f},\n",
+                 rec->mean(), rec->stddev(), rec->min(), rec->max());
+  }
+  if (const auto* ops = result.metrics.distribution("chaos.completed_ops")) {
+    std::fprintf(f, "  \"completed_ops\": {\"mean\": %.1f, \"total\": %.0f},\n",
+                 ops->mean(), ops->sum());
+  }
+  std::fprintf(f, "  \"per_style\": {");
+  bool first = true;
+  for (auto style : config.styles) {
+    const std::string code = replication::style_code(style);
+    std::fprintf(f, "%s\n    \"%s\": {\"pass\": %llu, \"fail\": %llu}",
+                 first ? "" : ",", code.c_str(),
+                 static_cast<unsigned long long>(
+                     result.metrics.counter("chaos.pass." + code)),
+                 static_cast<unsigned long long>(
+                     result.metrics.counter("chaos.fail." + code)));
+    first = false;
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+
+  chaos::CampaignConfig config;
+  config.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  config.trials = static_cast<int>(cfg.get_int("trials", 200));
+  config.base.clients = static_cast<int>(cfg.get_int("clients", 2));
+  config.base.ops_per_client = static_cast<int>(cfg.get_int("ops", 100));
+  const bool shrink_failures = cfg.get_bool("shrink", true);
+  const std::string out = cfg.get_str("out", "");
+
+  std::printf("chaos campaign: %d trials, seed %llu, 5 styles x replicas "
+              "{2,3} x checkpoint-every {10,25}\n\n",
+              config.trials, static_cast<unsigned long long>(config.seed));
+
+  const auto result = chaos::run_campaign(
+      config, [](int index, const chaos::TrialConfig& trial,
+                 const chaos::TrialResult& r) {
+        if ((index + 1) % 20 == 0 || !r.pass()) {
+          std::printf("  trial %3d  style=%s replicas=%d cpfreq=%u faults=%zu  %s\n",
+                      index, replication::style_code(trial.style).c_str(),
+                      trial.replicas, trial.checkpoint_every_requests,
+                      r.plan.size(), r.pass() ? "PASS" : "FAIL");
+        }
+      });
+
+  std::printf("\n%d/%d trials passed", result.passed, result.trials);
+  if (const auto* rec = result.metrics.distribution("chaos.recovery_ms")) {
+    std::printf("; recovery after last fault: mean %.0f ms, max %.0f ms",
+                rec->mean(), rec->max());
+  }
+  std::printf("\n");
+
+  for (const auto& failure : result.failures) {
+    std::printf("\nFAIL trial %d (style=%s replicas=%d):\n", failure.trial_index,
+                replication::style_code(failure.config.style).c_str(),
+                failure.config.replicas);
+    for (const auto& reason : failure.failures) {
+      std::printf("  oracle: %s\n", reason.c_str());
+    }
+    std::printf("schedule:\n%s", failure.plan.to_string().c_str());
+    if (shrink_failures) {
+      const auto shrunk = chaos::shrink_schedule(failure.config, failure.plan);
+      std::printf("minimal reproducer (%zu actions, %d probes):\n%s",
+                  shrunk.minimal.size(), shrunk.probes,
+                  shrunk.minimal.to_string().c_str());
+    }
+  }
+
+  if (!out.empty()) write_json(out, config, result);
+  return result.all_passed() ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate: the tier-1 quick suite on the default build, then the same suite
+# under ASan/UBSan (VDEP_SANITIZE=ON), then the long chaos campaign.
+#
+# Usage: scripts/ci.sh [--skip-sanitize] [--skip-chaos]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc)"
+skip_sanitize=0
+skip_chaos=0
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-sanitize) skip_sanitize=1 ;;
+    --skip-chaos) skip_chaos=1 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1 (default build) =="
+cmake -B "${repo_root}/build" -S "${repo_root}"
+cmake --build "${repo_root}/build" -j"${jobs}"
+ctest --test-dir "${repo_root}/build" -L tier1 --output-on-failure -j"${jobs}"
+
+if [[ "${skip_sanitize}" -eq 0 ]]; then
+  echo "== tier-1 (ASan + UBSan) =="
+  cmake -B "${repo_root}/build-asan" -S "${repo_root}" -DVDEP_SANITIZE=ON
+  cmake --build "${repo_root}/build-asan" -j"${jobs}"
+  ctest --test-dir "${repo_root}/build-asan" -L tier1 --output-on-failure -j"${jobs}"
+fi
+
+if [[ "${skip_chaos}" -eq 0 ]]; then
+  echo "== chaos campaign (200 seeded trials) =="
+  ctest --test-dir "${repo_root}/build" -L chaos --output-on-failure
+fi
+
+echo "CI green."

@@ -20,6 +20,19 @@ orb::Servant::Result KvStoreServant::invoke(const std::string& operation,
       orb::CdrWriter w;
       w.boolean(existed);
       result.output = std::move(w).take();
+      if (on_apply_) on_apply_(operation, key);
+      return result;
+    }
+    if (operation == "append") {
+      const std::string key = r.string();
+      const std::string value = r.string();
+      result.cpu_time = config_.write_time;
+      std::string& cell = data_[key];
+      cell += value;
+      orb::CdrWriter w;
+      w.ulong(static_cast<std::uint32_t>(cell.size()));
+      result.output = std::move(w).take();
+      if (on_apply_) on_apply_(operation, key);
       return result;
     }
     if (operation == "get") {
@@ -38,6 +51,7 @@ orb::Servant::Result KvStoreServant::invoke(const std::string& operation,
       orb::CdrWriter w;
       w.boolean(data_.erase(key) > 0);
       result.output = std::move(w).take();
+      if (on_apply_) on_apply_(operation, key);
       return result;
     }
     if (operation == "size") {
@@ -122,6 +136,21 @@ KvStoreServant::GetResult KvStoreServant::decode_get(const Bytes& body) {
 bool KvStoreServant::decode_flag(const Bytes& body) {
   orb::CdrReader r(body);
   return r.boolean();
+}
+
+Bytes KvStoreServant::encode_append(const std::string& key, const std::string& value) {
+  return encode_put(key, value);
+}
+
+std::uint32_t KvStoreServant::decode_ulong(const Bytes& body) {
+  orb::CdrReader r(body);
+  return r.ulong();
+}
+
+std::optional<std::string> KvStoreServant::lookup(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace vdep::app

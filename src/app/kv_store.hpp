@@ -9,9 +9,16 @@
 //   "get"    in: string key                    out: boolean found, string value
 //   "erase"  in: string key                    out: boolean existed
 //   "size"   in: -                             out: ulong entries
+//   "append" in: string key, string value      out: ulong new length
+//
+// "append" exists for the chaos engine's exactly-once oracle: appending a
+// unique token makes a duplicated execution visible in the final state,
+// where an idempotent "put" would hide it.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "replication/app_state.hpp"
@@ -38,10 +45,21 @@ class KvStoreServant final : public replication::Checkpointable {
   [[nodiscard]] std::uint64_t state_digest() const override;
 
   [[nodiscard]] std::size_t entries() const { return data_.size(); }
+  // Direct read of the stored value (oracles inspect replica state without
+  // going through the request path).
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
+
+  // Observer called after every state-mutating execution with (operation,
+  // key) — the chaos engine's history recorder.
+  void set_on_apply(std::function<void(const std::string&, const std::string&)> fn) {
+    on_apply_ = std::move(fn);
+  }
 
   // --- typed client-side helpers (encode args / decode results) -------------
   static Bytes encode_put(const std::string& key, const std::string& value);
   static Bytes encode_key(const std::string& key);  // for get/erase
+  static Bytes encode_append(const std::string& key, const std::string& value);
+  static std::uint32_t decode_ulong(const Bytes& body);  // append/size result
   struct GetResult {
     bool found = false;
     std::string value;
@@ -52,6 +70,7 @@ class KvStoreServant final : public replication::Checkpointable {
  private:
   Config config_;
   std::map<std::string, std::string> data_;
+  std::function<void(const std::string&, const std::string&)> on_apply_;
 };
 
 }  // namespace vdep::app

@@ -1,0 +1,112 @@
+// Chaos campaign runner: seeded trials over the dependability design space.
+//
+// One trial = build a replicated KV scenario, generate (or accept) a fault
+// schedule, run a recorded client workload through it, then judge the
+// completed run with the invariant oracles. A trial is reproducible from
+// (seed, config) alone — the schedule, the workload mix, every network
+// coin-flip and the final verdict all derive from them deterministically.
+//
+// A campaign sweeps trials across {replication style x replica count x
+// checkpoint frequency} and aggregates verdicts and recovery-time metrics
+// into monitor::MetricsRegistry / sim::TimeSeries.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "chaos/oracles.hpp"
+#include "chaos/schedule.hpp"
+#include "monitor/metrics.hpp"
+#include "replication/types.hpp"
+
+namespace vdep::chaos {
+
+struct TrialConfig {
+  std::uint64_t seed = 1;
+  replication::ReplicationStyle style = replication::ReplicationStyle::kWarmPassive;
+  int clients = 2;
+  int replicas = 3;
+  SimTime checkpoint_interval = msec(50);
+  std::uint32_t checkpoint_every_requests = 25;
+
+  int ops_per_client = 100;
+  SimTime op_gap = msec(12);
+  double append_ratio = 0.7;
+
+  SchedulePolicy faults;
+
+  // Judging knobs.
+  SimTime recovery_bound = sec(12);  // client retry budget is ~10 s
+  SimTime hard_deadline = sec(25);   // absolute per-trial cutoff
+
+  // Deliberate safety bug (reply dedup disabled) — used to validate that
+  // the oracles actually catch violations. See ReplicatorParams.
+  bool inject_dedup_bug = false;
+
+  // Record a structured trace and digest it (determinism tests).
+  bool record_trace = false;
+};
+
+struct TrialResult {
+  net::FaultPlan plan;
+  Verdict verdict;
+  TrialObservation observation;
+  SimTime finished_at = kTimeZero;
+  SimTime last_fault_end = kTimeZero;
+  double recovery_ms = 0.0;  // last fault effect -> workload completion
+  std::uint64_t completed_ops = 0;
+  std::uint64_t trace_digest = 0;  // fnv1a over the rendered trace
+
+  [[nodiscard]] bool pass() const { return verdict.pass(); }
+};
+
+// Runs one trial with a schedule generated from the trial seed.
+[[nodiscard]] TrialResult run_trial(const TrialConfig& config);
+
+// Runs one trial with an explicit schedule (the shrinker's entry point; also
+// how a minimal reproducer is replayed).
+[[nodiscard]] TrialResult run_trial(const TrialConfig& config,
+                                    const net::FaultPlan& plan);
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  int trials = 200;
+  std::vector<replication::ReplicationStyle> styles = {
+      replication::ReplicationStyle::kActive,
+      replication::ReplicationStyle::kWarmPassive,
+      replication::ReplicationStyle::kColdPassive,
+      replication::ReplicationStyle::kSemiActive,
+      replication::ReplicationStyle::kHybrid,
+  };
+  std::vector<int> replica_counts = {2, 3};
+  std::vector<std::uint32_t> checkpoint_frequencies = {10, 25};
+  TrialConfig base;  // everything not swept
+};
+
+struct CampaignFailure {
+  int trial_index = 0;
+  TrialConfig config;
+  net::FaultPlan plan;
+  std::vector<std::string> failures;
+};
+
+struct CampaignResult {
+  int trials = 0;
+  int passed = 0;
+  monitor::MetricsRegistry metrics;          // counters + recovery distribution
+  sim::TimeSeries recovery_series{"chaos_recovery_ms"};  // x = trial index (ns)
+  std::vector<CampaignFailure> failures;
+
+  [[nodiscard]] bool all_passed() const { return passed == trials; }
+};
+
+// Derives the trial config for sweep position `index` (public so a failing
+// trial can be reproduced from the campaign seed and its index alone).
+[[nodiscard]] TrialConfig campaign_trial_config(const CampaignConfig& config, int index);
+
+// Runs the sweep. `on_trial` (optional) observes each finished trial.
+[[nodiscard]] CampaignResult run_campaign(
+    const CampaignConfig& config,
+    const std::function<void(int, const TrialConfig&, const TrialResult&)>& on_trial = {});
+
+}  // namespace vdep::chaos

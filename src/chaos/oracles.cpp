@@ -1,0 +1,181 @@
+#include "chaos/oracles.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace vdep::chaos {
+
+namespace {
+
+// "[c3#17]" -> 17 (SIZE_MAX on malformed tokens, which the issued-set check
+// reports separately).
+std::uint64_t token_seq(const std::string& token) {
+  const std::size_t hash = token.find('#');
+  if (hash == std::string::npos) return UINT64_MAX;
+  try {
+    return std::stoull(token.substr(hash + 1));
+  } catch (...) {
+    return UINT64_MAX;
+  }
+}
+
+std::string replica_tag(const TrialObservation::ReplicaState& r) {
+  return "replica" + std::to_string(r.index);
+}
+
+}  // namespace
+
+std::string Verdict::to_string() const {
+  if (failures.empty()) return "PASS";
+  std::string out;
+  for (const auto& f : failures) {
+    out += f;
+    out += '\n';
+  }
+  return out;
+}
+
+void Verdict::merge(const Verdict& other) {
+  failures.insert(failures.end(), other.failures.begin(), other.failures.end());
+}
+
+Verdict check_exactly_once(const TrialObservation& obs) {
+  Verdict v;
+
+  // What each client actually issued and what it saw acknowledged.
+  std::map<std::string, std::set<std::string>> issued;  // log key -> tokens
+  std::map<std::string, std::vector<std::string>> acked;  // log key -> tokens, issue order
+  for (const auto& op : obs.history) {
+    if (op.op != "append") continue;
+    issued[op.key].insert(op.token);
+    if (op.completed_at && op.ok) acked[op.key].push_back(op.token);
+  }
+
+  // Safety, audited on every replica including crashed/stale ones: no
+  // phantom tokens, no duplicates, per-client order preserved.
+  for (const auto& rep : obs.replicas) {
+    for (const auto& [key, value] : rep.logs) {
+      const auto tokens = parse_tokens(value);
+      std::set<std::string> seen;
+      std::uint64_t prev_seq = 0;
+      bool first = true;
+      for (const auto& token : tokens) {
+        auto it = issued.find(key);
+        if (it == issued.end() || !it->second.contains(token)) {
+          v.failures.push_back("exactly-once: " + replica_tag(rep) + " " + key +
+                               " holds token " + token + " that was never issued");
+          continue;
+        }
+        if (!seen.insert(token).second) {
+          v.failures.push_back("exactly-once: " + replica_tag(rep) + " " + key +
+                               " executed " + token + " twice");
+        }
+        const std::uint64_t seq = token_seq(token);
+        if (!first && seq <= prev_seq) {
+          v.failures.push_back("exactly-once: " + replica_tag(rep) + " " + key +
+                               " order violation at " + token);
+        }
+        prev_seq = seq;
+        first = false;
+      }
+    }
+  }
+
+  // Completeness, on the replicas that answer clients: every acknowledged
+  // append must be in the state the group would serve from.
+  for (const auto& rep : obs.replicas) {
+    if (!rep.live || !rep.initialized || !rep.responder ||
+        obs.expected_lost.contains(rep.index)) {
+      continue;
+    }
+    for (const auto& [key, tokens] : acked) {
+      const auto log_it = rep.logs.find(key);
+      const std::string empty;
+      const std::string& value = log_it == rep.logs.end() ? empty : log_it->second;
+      for (const auto& token : tokens) {
+        if (value.find(token) == std::string::npos) {
+          v.failures.push_back("exactly-once: acked " + token + " missing from " +
+                               replica_tag(rep) + " " + key);
+        }
+      }
+    }
+  }
+  return v;
+}
+
+Verdict check_view_agreement(const TrialObservation& obs) {
+  Verdict v;
+  const TrialObservation::ReplicaState* reference = nullptr;
+  for (const auto& rep : obs.replicas) {
+    if (!rep.live || !rep.initialized || obs.expected_lost.contains(rep.index)) continue;
+    if (!rep.view_id.has_value()) {
+      v.failures.push_back("view-agreement: " + replica_tag(rep) + " has no view");
+      continue;
+    }
+    if (reference == nullptr) {
+      reference = &rep;
+      continue;
+    }
+    if (rep.view_id != reference->view_id ||
+        rep.view_members != reference->view_members) {
+      v.failures.push_back(
+          "view-agreement: " + replica_tag(rep) + " view " +
+          std::to_string(*rep.view_id) + " (" +
+          std::to_string(rep.view_members.size()) + " members) != " +
+          replica_tag(*reference) + " view " + std::to_string(*reference->view_id) +
+          " (" + std::to_string(reference->view_members.size()) + " members)");
+    }
+  }
+  return v;
+}
+
+Verdict check_checkpoint_monotonic(const TrialObservation& obs) {
+  Verdict v;
+  std::map<std::pair<int, std::uint64_t>, std::uint64_t> last;
+  for (const auto& event : obs.checkpoints) {
+    const auto key = std::pair{event.replica, event.incarnation};
+    auto it = last.find(key);
+    if (it != last.end() && event.checkpoint_id <= it->second) {
+      v.failures.push_back("checkpoint-monotonicity: replica" +
+                           std::to_string(event.replica) + " id " +
+                           std::to_string(event.checkpoint_id) + " after " +
+                           std::to_string(it->second));
+    }
+    last[key] = event.checkpoint_id;
+  }
+  return v;
+}
+
+Verdict check_bounded_recovery(const TrialObservation& obs) {
+  Verdict v;
+  bool any_serving = false;
+  for (const auto& rep : obs.replicas) {
+    if (rep.live && rep.initialized && !obs.expected_lost.contains(rep.index)) {
+      any_serving = true;
+    }
+  }
+  if (!any_serving) {
+    v.failures.push_back("liveness: no serving replica survived the schedule");
+  }
+  if (!obs.all_clients_done) {
+    v.failures.push_back("liveness: workload did not complete before the deadline");
+    return v;
+  }
+  if (obs.finished_at > obs.last_fault_end + obs.recovery_bound) {
+    v.failures.push_back(
+        "liveness: recovery exceeded bound (finished " +
+        std::to_string(to_usec(obs.finished_at - obs.last_fault_end) / 1000) +
+        " ms after the last fault)");
+  }
+  return v;
+}
+
+Verdict check_all(const TrialObservation& obs) {
+  Verdict v = check_exactly_once(obs);
+  v.merge(check_view_agreement(obs));
+  v.merge(check_checkpoint_monotonic(obs));
+  v.merge(check_bounded_recovery(obs));
+  return v;
+}
+
+}  // namespace vdep::chaos

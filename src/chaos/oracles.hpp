@@ -1,0 +1,79 @@
+// Invariant oracles: what "the faults were tolerated" means, checked
+// mechanically against a completed trial.
+//
+// Mapping to the paper's claims:
+//   exactly-once    — Sec. 3.1's client coordination + reply caching: a
+//                     retransmitted request is answered from the reply cache,
+//                     never re-executed (checked in replica state via unique
+//                     append tokens).
+//   view agreement  — the group-communication substrate (Sec. 3.2, Spread):
+//                     surviving members share one agreed view of the group.
+//   checkpoint      — the checkpointing low-level knob (Sec. 3.3): snapshot
+//   monotonicity      ids taken by one replica incarnation only move forward.
+//   bounded         — crash-tolerance of the replication styles and of the
+//   recovery          Fig. 5 switch protocol: after the last fault lifts, the
+//                     workload finishes within a bounded recovery window.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/history.hpp"
+#include "util/ids.hpp"
+
+namespace vdep::chaos {
+
+// Everything the oracles look at, collected after the trial's kernel has
+// drained. Plain data: oracles never touch the live scenario.
+struct TrialObservation {
+  struct ReplicaState {
+    int index = 0;
+    bool live = false;        // process alive, replicator running
+    bool initialized = true;  // finished joiner state transfer
+    bool responder = false;   // would answer clients in the current view
+    std::optional<std::uint64_t> view_id;
+    std::vector<ProcessId> view_members;
+    // Final value of every audited log key on this replica (absent key =
+    // no entry). Recorded for dead replicas too: a frozen crashed state must
+    // still contain no duplicate.
+    std::map<std::string, std::string> logs;
+  };
+
+  struct CheckpointEvent {
+    int replica = 0;
+    std::uint64_t incarnation = 0;  // replicator build counter per replica
+    std::uint64_t checkpoint_id = 0;
+  };
+
+  std::vector<OpRecord> history;  // all clients, merged
+  std::vector<ReplicaState> replicas;
+  std::vector<CheckpointEvent> checkpoints;
+  // Replica indexes the schedule permanently removed (node kills): exempt
+  // from agreement/liveness expectations, still audited for duplicates.
+  std::set<int> expected_lost;
+  bool all_clients_done = false;
+  SimTime finished_at = kTimeZero;   // last client completion (or deadline)
+  SimTime last_fault_end = kTimeZero;
+  SimTime recovery_bound = sec(12);  // covers the client retry budget (~10 s)
+};
+
+struct Verdict {
+  std::vector<std::string> failures;
+  [[nodiscard]] bool pass() const { return failures.empty(); }
+  [[nodiscard]] std::string to_string() const;
+  void merge(const Verdict& other);
+};
+
+// Each oracle returns the (possibly empty) list of violated invariants.
+[[nodiscard]] Verdict check_exactly_once(const TrialObservation& obs);
+[[nodiscard]] Verdict check_view_agreement(const TrialObservation& obs);
+[[nodiscard]] Verdict check_checkpoint_monotonic(const TrialObservation& obs);
+[[nodiscard]] Verdict check_bounded_recovery(const TrialObservation& obs);
+
+// All of the above, merged.
+[[nodiscard]] Verdict check_all(const TrialObservation& obs);
+
+}  // namespace vdep::chaos

@@ -43,8 +43,12 @@ void LeaderState::order_data(GroupRec& rec, const Forward& fwd, Emissions& out) 
 
 void LeaderState::install_view(GroupRec& rec, std::vector<Member> members,
                                Emissions& out) {
-  std::sort(members.begin(), members.end());
-
+  // Member order is seniority (join order): survivors keep their relative
+  // positions, joiners go to the back. Rank 0 — the replication layer's
+  // primary — is therefore always the longest-lived member, so a restarted
+  // replica rejoining under its old process id enters as the most junior
+  // member instead of instantly reclaiming primaryship while it still waits
+  // for its state transfer.
   std::set<NodeId> recipients;
   for (NodeId d : member_daemons(rec.view)) recipients.insert(d);
 
@@ -122,6 +126,12 @@ LeaderState::Emissions LeaderState::handle_forward(const Forward& fwd) {
       std::erase_if(members,
                     [&](const Member& m) { return m.process == fwd.origin.sender; });
       install_view(rec, std::move(members), out);
+      // The departure ends this process's dedup scope: a later incarnation
+      // rejoining under the same pid restarts its origin counter from zero,
+      // and its forwards must not be mistaken for replays of the dead one.
+      // Safe because the member daemon's link to the leader is FIFO — every
+      // forward of the old incarnation precedes the leave/crash it reported.
+      rec.last_origin.erase(fwd.origin.sender);
       return out;
     }
   }

@@ -30,12 +30,13 @@ struct View {
   GroupId group;
   // Monotonically increasing per group; also the epoch of the ordered stream.
   std::uint64_t view_id = 0;
-  std::vector<Member> members;  // sorted by process id
+  std::vector<Member> members;  // in seniority (join) order, oldest first
 
   [[nodiscard]] bool contains(ProcessId p) const;
   [[nodiscard]] std::optional<NodeId> daemon_of(ProcessId p) const;
-  // Deterministic rank of a member (index in the sorted member list); the
-  // replication layer uses rank 0 as the primary / preferred responder.
+  // Deterministic rank of a member (index in the seniority-ordered member
+  // list); the replication layer uses rank 0 — the longest-lived member —
+  // as the primary / preferred responder.
   [[nodiscard]] std::optional<std::size_t> rank_of(ProcessId p) const;
   [[nodiscard]] std::size_t size() const { return members.size(); }
 

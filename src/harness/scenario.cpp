@@ -26,11 +26,7 @@ struct Scenario::ReplicaBundle {
         process(owner.kernel(), pid, host,
                 "replica" + std::to_string(index) + "@" +
                     owner.network().host_name(host)),
-        servant(owner.config().make_servant
-                    ? owner.config().make_servant(index)
-                    : std::make_unique<app::TestServant>(app::TestServant::Config{
-                          owner.config().state_bytes, owner.config().reply_bytes,
-                          owner.config().app_exec_time})),
+        servant(owner.make_servant_for(index)),
         orb(owner.network(), process, poa) {
     poa.activate(kObjectKey, *servant);
   }
@@ -47,6 +43,10 @@ struct Scenario::ReplicaBundle {
   std::unique_ptr<orb::DirectServerAcceptor> acceptor;
   std::unique_ptr<interpose::InterceptOnlyServerAcceptor> intercepting_acceptor;
   bool started = false;
+  bool recovery_hooked = false;
+  // Process incarnation the replicator was built for; a mismatch means the
+  // stack is stale (the process restarted underneath it) and needs recovery.
+  std::uint64_t replicator_incarnation = 0;
 
   [[nodiscard]] bool live() const {
     return started && process.alive() &&
@@ -140,6 +140,12 @@ void Scenario::build() {
   }
 }
 
+std::unique_ptr<replication::Checkpointable> Scenario::make_servant_for(int index) {
+  if (config_.make_servant) return config_.make_servant(index);
+  return std::make_unique<app::TestServant>(app::TestServant::Config{
+      config_.state_bytes, config_.reply_bytes, config_.app_exec_time});
+}
+
 void Scenario::start_replica(int index, bool join_existing) {
   auto& bundle = *replicas_.at(index);
   VDEP_ASSERT(!bundle.started);
@@ -163,9 +169,29 @@ void Scenario::start_replica(int index, bool join_existing) {
   replication::ReplicatorParams params;
   params.checkpoint_interval = config_.checkpoint_interval;
   params.checkpoint_every_requests = config_.checkpoint_every_requests;
+  params.skip_reply_dedup = config_.skip_reply_dedup;
   bundle.replicator = std::make_unique<replication::Replicator>(
       *network_, daemon_on(bundle.process.host()), bundle.process, bundle.orb,
       *bundle.servant, kAppGroup, params);
+  if (config_.on_replicator_created) {
+    config_.on_replicator_created(index, *bundle.replicator);
+  }
+  if (config_.auto_recover && !bundle.recovery_hooked) {
+    bundle.recovery_hooked = true;
+    bundle.process.subscribe_restart([this, index](ProcessId) {
+      // The restart fires from inside a fault-plan event; rebuild the stack
+      // on a fresh event, and only if the process is still up and nothing
+      // else (a manual recover_replica) already rebuilt it by then.
+      kernel_->post(kTimeZero, [this, index] {
+        auto& b = *replicas_.at(index);
+        if (b.process.alive() &&
+            b.replicator_incarnation != b.process.incarnation()) {
+          recover_replica(index);
+        }
+      });
+    });
+  }
+  bundle.replicator_incarnation = bundle.process.incarnation();
   bundle.replicator->start(config_.style, join_existing);
 
   if (config_.enable_replicated_state || config_.adaptation) {
@@ -260,6 +286,23 @@ void Scenario::arm_faults() {
   for (auto& r : replicas_) processes.push_back(&r->process);
   for (auto& c : clients_) processes.push_back(&c->process);
   fault_plan_.arm(*kernel_, *network_, std::move(processes));
+}
+
+void Scenario::recover_replica(int index) {
+  VDEP_ASSERT_MSG(config_.replicated, "recovery needs a replicated scenario");
+  auto& bundle = *replicas_.at(index);
+  if (!bundle.process.alive()) bundle.process.restart();
+  // The new incarnation lost all volatile state: monitoring, replicator and
+  // servant are rebuilt from scratch, and the replicator joins the running
+  // group as a state-transfer joiner.
+  bundle.adaptation.reset();
+  bundle.state.reset();
+  bundle.replicator.reset();
+  bundle.poa.deactivate(kObjectKey);
+  bundle.servant = make_servant_for(index);
+  bundle.poa.activate(kObjectKey, *bundle.servant);
+  bundle.started = false;
+  start_replica(index, /*join_existing=*/true);
 }
 
 // --- knob actuation -------------------------------------------------------------

@@ -58,9 +58,24 @@ struct ScenarioConfig {
   // The application each replica hosts. Default (null): the paper's
   // micro-benchmark TestServant built from the parameters above. Supply a
   // factory to replicate any Checkpointable application (see
-  // examples/kv_cluster.cpp).
+  // examples/kv_cluster.cpp). Recovery calls it again: a restarted replica
+  // begins from a blank servant and catches up by state transfer.
   std::function<std::unique_ptr<replication::Checkpointable>(int replica_index)>
       make_servant;
+
+  // Observer called every time a replicator is (re)built — initial boot,
+  // growth, and crash recovery. The chaos engine attaches its checkpoint /
+  // state hooks here so they survive replica re-incarnation.
+  std::function<void(int replica_index, replication::Replicator&)> on_replicator_created;
+
+  // When true, a replica process restarted by the fault plan automatically
+  // rebuilds its replication stack and rejoins the group with a state
+  // transfer (see recover_replica).
+  bool auto_recover = false;
+
+  // TEST ONLY — forwarded to ReplicatorParams::skip_reply_dedup (the chaos
+  // engine's deliberately injected exactly-once bug).
+  bool skip_reply_dedup = false;
 };
 
 struct ExperimentResult {
@@ -112,6 +127,11 @@ class Scenario final : public knobs::ReplicaGroupController {
   // or call arm_faults() yourself when driving the kernel manually.
   net::FaultPlan& fault_plan() { return fault_plan_; }
   void arm_faults();
+  // Rebuilds a crashed (or just-restarted) replica's stack as a fresh
+  // incarnation: blank servant, new replicator joining the running group
+  // with a state transfer. Called automatically after a fault-plan restart
+  // when config.auto_recover is set.
+  void recover_replica(int index);
   [[nodiscard]] ProcessId replica_pid(int index) const;
   [[nodiscard]] NodeId replica_host(int index) const;
   [[nodiscard]] ProcessId client_pid(int index) const;
@@ -153,6 +173,7 @@ class Scenario final : public knobs::ReplicaGroupController {
 
   void build();
   void start_replica(int index, bool join_existing);
+  [[nodiscard]] std::unique_ptr<replication::Checkpointable> make_servant_for(int index);
   ReplicaBundle& first_live_replica();
   const ReplicaBundle& first_live_replica() const;
 

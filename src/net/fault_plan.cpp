@@ -1,5 +1,8 @@
 #include "net/fault_plan.hpp"
 
+#include <algorithm>
+#include <memory>
+
 #include "util/assert.hpp"
 
 namespace vdep::net {
@@ -13,94 +16,281 @@ sim::Process* find_process(const std::vector<sim::Process*>& processes, ProcessI
   return nullptr;
 }
 
+std::string time_str(SimTime t) { return std::to_string(to_usec(t) / 1000.0) + "ms"; }
+
+std::string set_str(const std::set<NodeId>& s) {
+  std::string out = "{";
+  for (NodeId n : s) {
+    if (out.size() > 1) out += ",";
+    out += n.str();
+  }
+  return out + "}";
+}
+
+void encode_node_set(ByteWriter& w, const std::set<NodeId>& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (NodeId n : s) w.u64(n.value());
+}
+
+std::set<NodeId> decode_node_set(ByteReader& r) {
+  std::set<NodeId> out;
+  const auto n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) out.insert(NodeId{r.u64()});
+  return out;
+}
+
+// Shared interpreter state for windowed faults, so overlapping windows
+// compose: partitions stay cut until the last covering window lifts, loss
+// probabilities and slowdown factors take the max over active windows.
+// `touched_*` hold every pair/host the plan can affect; on each transition
+// the full fault overlay is recomputed from the still-active windows, which
+// restores lifted faults to the clean defaults (loss 0, slowdown 1).
+struct ArmRuntime {
+  std::vector<FaultAction> active;            // windowed actions currently in force
+  std::set<std::pair<NodeId, NodeId>> touched_loss;
+  std::set<NodeId> touched_slow;
+
+  void apply(Network& net) const {
+    net.heal_partitions();
+    std::map<std::pair<NodeId, NodeId>, double> loss;
+    std::map<NodeId, double> slow;
+    for (const auto& a : active) {
+      switch (a.kind) {
+        case FaultAction::Kind::kPartition:
+          net.partition(a.side_a, a.side_b);
+          break;
+        case FaultAction::Kind::kLossBurst:
+          for (auto [x, y] : {std::pair{a.node, a.peer}, std::pair{a.peer, a.node}}) {
+            auto& p = loss[{x, y}];
+            p = std::max(p, a.value);
+          }
+          break;
+        case FaultAction::Kind::kSlowHost: {
+          auto& f = slow[a.node];
+          f = std::max(f, a.value);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    for (const auto& pair : touched_loss) {
+      LinkParams params = net.link_params(pair.first, pair.second);
+      auto it = loss.find(pair);
+      params.loss_probability = it != loss.end() ? it->second : 0.0;
+      net.set_link_params(pair.first, pair.second, params);
+    }
+    for (NodeId node : touched_slow) {
+      auto it = slow.find(node);
+      net.cpu(node).set_slowdown(it != slow.end() ? it->second : 1.0);
+    }
+  }
+};
+
+void apply_point(const FaultAction& action, Network& net,
+                 const std::vector<sim::Process*>& procs) {
+  switch (action.kind) {
+    case FaultAction::Kind::kCrashProcess:
+      if (auto* p = find_process(procs, action.pid)) p->crash();
+      break;
+    case FaultAction::Kind::kRestartProcess:
+      // Restarting a never-crashed (still alive) process is a no-op by
+      // Process::restart's idempotence; schedules stay valid after shrinking
+      // drops the matching crash.
+      if (auto* p = find_process(procs, action.pid)) p->restart();
+      break;
+    case FaultAction::Kind::kCrashNode:
+      net.set_host_up(action.node, false);
+      for (auto* p : procs) {
+        if (p->host() == action.node) p->crash();
+      }
+      break;
+    case FaultAction::Kind::kRestoreNode:
+      net.set_host_up(action.node, true);
+      break;
+    default:
+      VDEP_ASSERT_MSG(false, "windowed action in apply_point");
+  }
+}
+
 }  // namespace
 
+std::string FaultAction::to_string() const {
+  switch (kind) {
+    case Kind::kCrashProcess:
+      return "crash_process at=" + time_str(at) + " pid=" + pid.str();
+    case Kind::kRestartProcess:
+      return "restart_process at=" + time_str(at) + " pid=" + pid.str();
+    case Kind::kCrashNode:
+      return "crash_node at=" + time_str(at) + " node=" + node.str();
+    case Kind::kRestoreNode:
+      return "restore_node at=" + time_str(at) + " node=" + node.str();
+    case Kind::kLossBurst:
+      return "loss_burst [" + time_str(at) + "," + time_str(until) + ") hosts=(" +
+             node.str() + "," + peer.str() + ") p=" + std::to_string(value);
+    case Kind::kPartition:
+      return "partition [" + time_str(at) + "," + time_str(until) + ") " +
+             set_str(side_a) + " | " + set_str(side_b);
+    case Kind::kSlowHost:
+      return "slow_host [" + time_str(at) + "," + time_str(until) + ") node=" +
+             node.str() + " factor=" + std::to_string(value);
+  }
+  return "<invalid>";
+}
+
+void FaultAction::encode(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.i64(at.count());
+  w.i64(until.count());
+  w.u64(pid.value());
+  w.u64(node.value());
+  w.u64(peer.value());
+  encode_node_set(w, side_a);
+  encode_node_set(w, side_b);
+  w.f64(value);
+}
+
+FaultAction FaultAction::decode(ByteReader& r) {
+  FaultAction a;
+  const std::uint8_t k = r.u8();
+  if (k < 1 || k > 7) throw r.error("fault action kind out of range");
+  a.kind = static_cast<Kind>(k);
+  a.at = SimTime{r.i64()};
+  a.until = SimTime{r.i64()};
+  a.pid = ProcessId{r.u64()};
+  a.node = NodeId{r.u64()};
+  a.peer = NodeId{r.u64()};
+  a.side_a = decode_node_set(r);
+  a.side_b = decode_node_set(r);
+  a.value = r.f64();
+  return a;
+}
+
 void FaultPlan::crash_process(SimTime at, ProcessId pid) {
-  actions_.push_back({at, [pid](sim::Kernel&, Network&,
-                                const std::vector<sim::Process*>& procs) {
-                        if (auto* p = find_process(procs, pid)) p->crash();
-                      }});
+  FaultAction a;
+  a.kind = FaultAction::Kind::kCrashProcess;
+  a.at = at;
+  a.pid = pid;
+  actions_.push_back(std::move(a));
 }
 
 void FaultPlan::restart_process(SimTime at, ProcessId pid) {
-  actions_.push_back({at, [pid](sim::Kernel&, Network&,
-                                const std::vector<sim::Process*>& procs) {
-                        if (auto* p = find_process(procs, pid)) p->restart();
-                      }});
+  FaultAction a;
+  a.kind = FaultAction::Kind::kRestartProcess;
+  a.at = at;
+  a.pid = pid;
+  actions_.push_back(std::move(a));
 }
 
 void FaultPlan::crash_node(SimTime at, NodeId node) {
-  actions_.push_back({at, [node](sim::Kernel&, Network& net,
-                                 const std::vector<sim::Process*>& procs) {
-                        net.set_host_up(node, false);
-                        for (auto* p : procs) {
-                          if (p->host() == node) p->crash();
-                        }
-                      }});
+  FaultAction a;
+  a.kind = FaultAction::Kind::kCrashNode;
+  a.at = at;
+  a.node = node;
+  actions_.push_back(std::move(a));
 }
 
 void FaultPlan::restore_node(SimTime at, NodeId node) {
-  actions_.push_back({at, [node](sim::Kernel&, Network& net,
-                                 const std::vector<sim::Process*>&) {
-                        net.set_host_up(node, true);
-                      }});
+  FaultAction a;
+  a.kind = FaultAction::Kind::kRestoreNode;
+  a.at = at;
+  a.node = node;
+  actions_.push_back(std::move(a));
 }
 
 void FaultPlan::loss_burst(SimTime from, SimTime to, NodeId a, NodeId b,
                            double probability) {
   VDEP_ASSERT(from <= to);
-  actions_.push_back({from, [a, b, probability](sim::Kernel&, Network& net,
-                                                const std::vector<sim::Process*>&) {
-                        for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
-                          LinkParams p = net.link_params(x, y);
-                          p.loss_probability = probability;
-                          net.set_link_params(x, y, p);
-                        }
-                      }});
-  actions_.push_back({to, [a, b](sim::Kernel&, Network& net,
-                                 const std::vector<sim::Process*>&) {
-                        for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
-                          LinkParams p = net.link_params(x, y);
-                          p.loss_probability = 0.0;
-                          net.set_link_params(x, y, p);
-                        }
-                      }});
+  FaultAction act;
+  act.kind = FaultAction::Kind::kLossBurst;
+  act.at = from;
+  act.until = to;
+  act.node = a;
+  act.peer = b;
+  act.value = std::clamp(probability, 0.0, 1.0);
+  actions_.push_back(std::move(act));
 }
 
 void FaultPlan::partition_window(SimTime from, SimTime to, std::set<NodeId> side_a,
                                  std::set<NodeId> side_b) {
   VDEP_ASSERT(from <= to);
-  actions_.push_back(
-      {from, [side_a, side_b](sim::Kernel&, Network& net,
-                              const std::vector<sim::Process*>&) {
-         net.partition(side_a, side_b);
-       }});
-  // Healing clears all partitions; overlapping partition windows are not
-  // supported (asserted by keeping semantics simple and documented).
-  actions_.push_back({to, [](sim::Kernel&, Network& net,
-                             const std::vector<sim::Process*>&) {
-                        net.heal_partitions();
-                      }});
+  FaultAction a;
+  a.kind = FaultAction::Kind::kPartition;
+  a.at = from;
+  a.until = to;
+  a.side_a = std::move(side_a);
+  a.side_b = std::move(side_b);
+  actions_.push_back(std::move(a));
 }
 
 void FaultPlan::slow_host(SimTime from, SimTime to, NodeId node, double factor) {
   VDEP_ASSERT(from <= to && factor > 0.0);
-  actions_.push_back({from, [node, factor](sim::Kernel&, Network& net,
-                                            const std::vector<sim::Process*>&) {
-                        net.cpu(node).set_slowdown(factor);
-                      }});
-  actions_.push_back({to, [node](sim::Kernel&, Network& net,
-                                 const std::vector<sim::Process*>&) {
-                        net.cpu(node).set_slowdown(1.0);
-                      }});
+  FaultAction a;
+  a.kind = FaultAction::Kind::kSlowHost;
+  a.at = from;
+  a.until = to;
+  a.node = node;
+  a.value = factor;
+  actions_.push_back(std::move(a));
+}
+
+SimTime FaultPlan::last_effect_end() const {
+  SimTime end = kTimeZero;
+  for (const auto& a : actions_) end = std::max(end, a.effect_end());
+  return end;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const auto& a : actions_) {
+    out += a.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+Bytes FaultPlan::encode() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(actions_.size()));
+  for (const auto& a : actions_) a.encode(w);
+  return std::move(w).take();
+}
+
+FaultPlan FaultPlan::decode(std::span<const std::uint8_t> raw) {
+  ByteReader r(raw);
+  FaultPlan plan;
+  const auto n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) plan.actions_.push_back(FaultAction::decode(r));
+  return plan;
 }
 
 void FaultPlan::arm(sim::Kernel& kernel, Network& network,
                     std::vector<sim::Process*> processes) const {
-  for (const auto& timed : actions_) {
-    kernel.post_at(timed.at, [&kernel, &network, processes, action = timed.action] {
-      action(kernel, network, processes);
-    });
+  auto runtime = std::make_shared<ArmRuntime>();
+  for (const auto& action : actions_) {
+    if (action.kind == FaultAction::Kind::kLossBurst) {
+      runtime->touched_loss.insert({action.node, action.peer});
+      runtime->touched_loss.insert({action.peer, action.node});
+    }
+    if (action.kind == FaultAction::Kind::kSlowHost) {
+      runtime->touched_slow.insert(action.node);
+    }
+    if (action.windowed()) {
+      kernel.post_at(action.at, [runtime, &network, action] {
+        runtime->active.push_back(action);
+        runtime->apply(network);
+      });
+      kernel.post_at(action.until, [runtime, &network, action] {
+        auto& act = runtime->active;
+        auto it = std::find(act.begin(), act.end(), action);
+        if (it != act.end()) act.erase(it);
+        runtime->apply(network);
+      });
+    } else {
+      kernel.post_at(action.at, [&network, processes, action] {
+        apply_point(action, network, processes);
+      });
+    }
   }
 }
 

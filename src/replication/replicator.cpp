@@ -283,7 +283,7 @@ void Replicator::execute_request(const RequestRecord& rec, bool send_reply) {
   // below the applied frontier is a duplicate (client retransmission,
   // group-layer replay, or already covered by an installed checkpoint).
   auto& frontier = applied_rid_[rec.rid.client];
-  if (rec.rid.seq <= frontier) {
+  if (rec.rid.seq <= frontier && !params_.skip_reply_dedup) {
     if (send_reply) {
       if (auto cached = reply_cache_.get(rec.rid)) {
         send_reply_to_client(rec, *cached);
@@ -294,7 +294,7 @@ void Replicator::execute_request(const RequestRecord& rec, bool send_reply) {
     }
     return;
   }
-  frontier = rec.rid.seq;
+  frontier = std::max(frontier, rec.rid.seq);
 
   quiescence_.begin_execution();
   ++executed_count_;
@@ -356,6 +356,7 @@ void Replicator::take_checkpoint() {
     msg.app_state = app_.snapshot();
     msg.reply_cache = reply_cache_.serialize_recent(params_.checkpoint_reply_entries);
     outstanding_checkpoint_ = id;
+    if (on_checkpoint_) on_checkpoint_(id);
 
     // Serialization occupies the CPU; the multicast submission queues behind
     // it on the same host CPU, so the cost delays the checkpoint naturally.
@@ -378,6 +379,7 @@ void Replicator::take_local_checkpoint() {
     msg.applied = applied_rid_;
     msg.app_state = app_.snapshot();
     msg.reply_cache = reply_cache_.serialize_recent(params_.checkpoint_reply_entries);
+    if (on_checkpoint_) on_checkpoint_(msg.checkpoint_id);
     stored_checkpoint_ = std::move(msg);
     network_.cpu(process_.host())
         .execute(snapshot_cpu_time(app_.state_size(), params_.snapshot_bytes_per_sec),

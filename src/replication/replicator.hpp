@@ -64,6 +64,8 @@ class Replicator {
   // Rank in the current view; SIZE_MAX when not (yet) a member.
   [[nodiscard]] std::size_t my_rank() const;
   [[nodiscard]] bool is_responder() const;
+  // False while a joiner is still waiting for its state transfer.
+  [[nodiscard]] bool initialized() const { return !uninitialized_; }
   [[nodiscard]] std::uint64_t requests_delivered() const { return request_index_; }
   [[nodiscard]] std::uint64_t requests_executed() const { return executed_count_; }
   [[nodiscard]] std::uint64_t checkpoints_taken() const { return checkpoint_counter_; }
@@ -91,6 +93,12 @@ class Replicator {
   }
   void set_on_style_changed(std::function<void(ReplicationStyle)> fn) {
     on_style_changed_ = std::move(fn);
+  }
+  // Fires whenever this replica snapshots its state (group or local
+  // checkpoint) with the fresh checkpoint id — the chaos engine's
+  // checkpoint-monotonicity oracle listens here.
+  void set_on_checkpoint(std::function<void(std::uint64_t)> fn) {
+    on_checkpoint_ = std::move(fn);
   }
 
   // --- facilities used by the engines -------------------------------------------
@@ -190,6 +198,7 @@ class Replicator {
   SimTime switch_started_ = kTimeZero;
   std::vector<SwitchRecord> switch_history_;
   std::function<void(ReplicationStyle)> on_style_changed_;
+  std::function<void(std::uint64_t)> on_checkpoint_;
 };
 
 }  // namespace vdep::replication

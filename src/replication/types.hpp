@@ -105,6 +105,11 @@ struct ReplicatorParams {
   // Suppress replies when replaying as a catching-up joiner (live replicas
   // already replied); failover replays always reply.
   bool quiet_joiner_replay = true;
+  // TEST ONLY — deliberate safety bug for the chaos engine's oracle
+  // self-check: disables the applied-frontier/reply-cache dedup so client
+  // retransmissions and log replays execute again. Never enable in a real
+  // configuration.
+  bool skip_reply_dedup = false;
 
   ReplicatorParams();
 };

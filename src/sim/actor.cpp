@@ -35,10 +35,16 @@ void Process::restart() {
   alive_ = true;
   ++epoch_;
   on_start();
+  auto listeners = restart_listeners_;
+  for (auto& l : listeners) l(id_);
 }
 
 void Process::subscribe_crash(std::function<void(ProcessId)> listener) {
   crash_listeners_.push_back(std::move(listener));
+}
+
+void Process::subscribe_restart(std::function<void(ProcessId)> listener) {
+  restart_listeners_.push_back(std::move(listener));
 }
 
 }  // namespace vdep::sim

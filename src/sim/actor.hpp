@@ -53,6 +53,11 @@ class Process {
   // to learn of this process's crash the way an OS would report a dead child.
   void subscribe_crash(std::function<void(ProcessId)> listener);
 
+  // Observers of the opposite transition (e.g. the scenario harness
+  // rebuilding a replica's replication stack when the fault plan brings the
+  // process back). Fired after on_start(), once per restart.
+  void subscribe_restart(std::function<void(ProcessId)> listener);
+
   [[nodiscard]] std::uint64_t incarnation() const { return epoch_; }
 
  protected:
@@ -65,6 +70,7 @@ class Process {
   bool alive_ = true;
   std::uint64_t epoch_ = 0;
   std::vector<std::function<void(ProcessId)>> crash_listeners_;
+  std::vector<std::function<void(ProcessId)>> restart_listeners_;
 };
 
 }  // namespace vdep::sim

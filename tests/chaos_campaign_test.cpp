@@ -1,0 +1,49 @@
+// The acceptance campaign: 200 seeded trials sweeping {style x replicas x
+// checkpoint frequency}; every oracle must hold on every trial. Labeled
+// `chaos` in ctest — excluded from the tier1 quick gate, run by scripts/ci.sh
+// and the full suite.
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.hpp"
+
+namespace vdep::chaos {
+namespace {
+
+TEST(ChaosCampaign, TwoHundredTrialsAllStylesAllOraclesHold) {
+  CampaignConfig config;
+  config.seed = 1;
+  config.trials = 200;
+
+  const CampaignResult result = run_campaign(config);
+
+  for (const auto& failure : result.failures) {
+    ADD_FAILURE() << "trial " << failure.trial_index << " (style "
+                  << replication::style_code(failure.config.style) << ", "
+                  << failure.config.replicas << " replicas, seed "
+                  << failure.config.seed << "):\n  "
+                  << [&] {
+                       std::string all;
+                       for (const auto& f : failure.failures) all += f + "\n  ";
+                       return all;
+                     }()
+                  << "schedule:\n"
+                  << failure.plan.to_string();
+  }
+  EXPECT_EQ(result.passed, 200);
+  EXPECT_TRUE(result.all_passed());
+
+  // Sweep coverage: all five styles, both replica counts, both checkpoint
+  // frequencies appear — and the metrics agree with the verdict tally.
+  for (const char* code : {"A", "P", "C", "S", "H"}) {
+    EXPECT_GE(result.metrics.counter(std::string("chaos.pass.") + code), 20u) << code;
+  }
+  EXPECT_EQ(result.metrics.counter("chaos.pass"), 200u);
+  EXPECT_EQ(result.metrics.counter("chaos.fail"), 0u);
+  EXPECT_DOUBLE_EQ(result.metrics.gauge("chaos.pass_rate").value_or(0.0), 1.0);
+  const auto* recovery = result.metrics.distribution("chaos.recovery_ms");
+  ASSERT_NE(recovery, nullptr);
+  EXPECT_EQ(recovery->count(), 200u);
+}
+
+}  // namespace
+}  // namespace vdep::chaos

@@ -5,6 +5,8 @@
 // sequence and application state staying exactly-once.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "adaptive/switch_protocol.hpp"
 #include "harness/scenario.hpp"
 
@@ -225,14 +227,49 @@ TEST_P(SwitchCrashTest, CrashAroundSwitchPreservesInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(
     CrashMatrix, SwitchCrashTest,
-    ::testing::Combine(::testing::Values(0, 1, 2),          // primary or backups
-                       ::testing::Values(-50, 0, 2, 5, 10, 25, 100)),  // ms around switch
+    ::testing::Combine(::testing::Values(0, 1, 2),  // primary or backups
+                       // ms around the switch point, covering every protocol
+                       // step: before initiation, the AGREED switch message,
+                       // quiescence, the SAFE sync checkpoint, completion.
+                       ::testing::Values(-50, 0, 1, 2, 5, 10, 25, 50, 100)),
     [](const auto& info) {
       const int victim = std::get<0>(info.param);
       const int offset = std::get<1>(info.param);
       return "victim" + std::to_string(victim) + "_offset" +
              (offset < 0 ? "m" + std::to_string(-offset) : std::to_string(offset));
     });
+
+TEST(SwitchProtocol, CrashScheduleReplaysIdenticallyAfterWireRoundTrip) {
+  // The chaos shrinker ships minimal reproducers as serialized fault plans;
+  // a decoded plan must drive the switch-crash scenario to the exact same
+  // outcome as the original.
+  auto run_once = [](const net::FaultPlan& plan) {
+    Scenario scenario = make_scenario(ReplicationStyle::kWarmPassive);
+    scenario.fault_plan() = plan;
+    scenario.kernel().post_at(sec(1), [&] {
+      scenario.replicator(2).request_style_switch(ReplicationStyle::kActive);
+    });
+    Scenario::CycleConfig cycle;
+    cycle.requests_per_client = 400;
+    cycle.warmup_requests = 20;
+    cycle.max_duration = sec(240);
+    const auto result = scenario.run_closed_loop(cycle);
+    scenario.drain();
+    return std::make_tuple(result.completed, scenario.live_replicas(),
+                           scenario.live_state_digests());
+  };
+
+  Scenario probe = make_scenario(ReplicationStyle::kWarmPassive);
+  net::FaultPlan plan;
+  plan.crash_process(sec(1) + msec(5), probe.replica_pid(0));
+
+  const net::FaultPlan decoded = net::FaultPlan::decode(plan.encode());
+  ASSERT_EQ(plan, decoded);
+  const auto original = run_once(plan);
+  const auto replayed = run_once(decoded);
+  EXPECT_EQ(std::get<0>(original), 840u);
+  EXPECT_EQ(original, replayed);
+}
 
 }  // namespace
 }  // namespace vdep::harness
