@@ -1,0 +1,131 @@
+// Micro-benchmarks of the observability layer (google-benchmark).
+//
+// Two questions, answered in real (not simulated) time:
+//  1. What does a span cost?  BM_SpanDisabled is the hot-path guarantee: a
+//     disabled tracer must cost one predictable branch per call site, so
+//     tracing can stay compiled into every layer. BM_SpanEnabled and
+//     BM_SpanEnabledNoted price the recording path.
+//  2. What does tracing do to an experiment?  BM_ScenarioTracing{Off,On}
+//     runs the same seeded closed-loop replicated scenario both ways; the
+//     simulated results are identical (same wire bytes, same event order) so
+//     the delta is pure host-side recording overhead. run_bench.sh compares
+//     the pair into BENCH_obs.json.
+#include <benchmark/benchmark.h>
+
+#include "harness/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/tracer.hpp"
+#include "util/time.hpp"
+
+using namespace vdep;
+
+namespace {
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::Tracer tracer([] { return kTimeZero; });
+  for (auto _ : state) {
+    obs::Span span = tracer.start_span("bench.op", "bench", "proc");
+    span.note("key", "value");
+    benchmark::DoNotOptimize(span);
+  }
+  if (tracer.spans_recorded() != 0) state.SkipWithError("disabled tracer recorded");
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  SimTime now = kTimeZero;
+  obs::Tracer tracer([&now] { return now; });
+  tracer.enable();
+  for (auto _ : state) {
+    now = now + nsec(1);
+    obs::Span span = tracer.start_span("bench.op", "bench", "proc");
+    benchmark::DoNotOptimize(span);
+    if (tracer.spans_recorded() >= obs::Tracer::kDefaultCapacity) tracer.clear();
+  }
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_SpanEnabledNoted(benchmark::State& state) {
+  SimTime now = kTimeZero;
+  obs::Tracer tracer([&now] { return now; });
+  tracer.enable();
+  for (auto _ : state) {
+    now = now + nsec(1);
+    obs::Span span = tracer.start_span("bench.op", "bench", "proc");
+    span.note("outcome", "executed");
+    span.note("op", "process");
+    benchmark::DoNotOptimize(span);
+    if (tracer.spans_recorded() >= obs::Tracer::kDefaultCapacity) tracer.clear();
+  }
+}
+BENCHMARK(BM_SpanEnabledNoted);
+
+void BM_ScopeEnterExit(benchmark::State& state) {
+  SimTime now = kTimeZero;
+  obs::Tracer tracer([&now] { return now; });
+  tracer.enable();
+  obs::Span root = tracer.start_span("root", "bench", "proc");
+  const obs::TraceContext ctx = root.context();
+  for (auto _ : state) {
+    obs::Tracer::Scope scope(tracer, ctx);
+    benchmark::DoNotOptimize(tracer.current());
+  }
+}
+BENCHMARK(BM_ScopeEnterExit);
+
+// One full replicated closed-loop cycle (2 clients x 200 requests, 3 active
+// replicas) — the end-to-end cost of an experiment with tracing off vs on.
+void run_scenario(bool tracing, benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ScenarioConfig config;
+    config.seed = 42;
+    config.clients = 2;
+    config.replicas = 3;
+    config.max_replicas = 3;
+    config.style = replication::ReplicationStyle::kActive;
+    config.tracing = tracing;
+    harness::Scenario scenario(config);
+    harness::Scenario::CycleConfig cycle;
+    cycle.requests_per_client = 200;
+    cycle.warmup_requests = 0;
+    const auto result = scenario.run_closed_loop(cycle);
+    benchmark::DoNotOptimize(result);
+    if (tracing) {
+      state.counters["spans"] = benchmark::Counter(
+          static_cast<double>(scenario.kernel().tracer().spans_recorded()));
+    }
+  }
+}
+
+void BM_ScenarioTracingOff(benchmark::State& state) { run_scenario(false, state); }
+BENCHMARK(BM_ScenarioTracingOff)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioTracingOn(benchmark::State& state) { run_scenario(true, state); }
+BENCHMARK(BM_ScenarioTracingOn)->Unit(benchmark::kMillisecond);
+
+// Export cost: render a realistic recording both ways.
+void BM_ExportChromeTrace(benchmark::State& state) {
+  harness::ScenarioConfig config;
+  config.seed = 42;
+  config.clients = 2;
+  config.replicas = 3;
+  config.max_replicas = 3;
+  config.tracing = true;
+  harness::Scenario scenario(config);
+  harness::Scenario::CycleConfig cycle;
+  cycle.requests_per_client = 200;
+  cycle.warmup_requests = 0;
+  (void)scenario.run_closed_loop(cycle);
+  const obs::Tracer& tracer = scenario.kernel().tracer();
+  for (auto _ : state) {
+    std::string json = obs::to_chrome_trace(tracer);
+    benchmark::DoNotOptimize(json);
+  }
+  state.counters["spans"] =
+      benchmark::Counter(static_cast<double>(tracer.spans_recorded()));
+}
+BENCHMARK(BM_ExportChromeTrace)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

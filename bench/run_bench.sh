@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds the substrate micro-benchmarks in Release mode and records their
-# results as BENCH_substrate.json at the repo root, then runs the seeded
-# chaos campaign and records its summary as BENCH_chaos.json.
+# Builds the micro-benchmarks in Release mode and records their results at
+# the repo root: BENCH_substrate.json (substrate components), BENCH_obs.json
+# (observability layer — span costs and the tracing-off/on scenario pair),
+# then runs the seeded chaos campaign and records BENCH_chaos.json.
 #
 # Usage: bench/run_bench.sh [extra google-benchmark args...]
 set -euo pipefail
@@ -10,7 +11,8 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j"$(nproc)" --target micro_substrate --target chaos_runner
+cmake --build "${build_dir}" -j"$(nproc)" \
+  --target micro_substrate --target micro_obs --target chaos_runner
 
 "${build_dir}/bench/micro_substrate" \
   --benchmark_format=json \
@@ -19,6 +21,14 @@ cmake --build "${build_dir}" -j"$(nproc)" --target micro_substrate --target chao
   "$@"
 
 echo "wrote ${repo_root}/BENCH_substrate.json"
+
+"${build_dir}/bench/micro_obs" \
+  --benchmark_format=json \
+  --benchmark_out="${repo_root}/BENCH_obs.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote ${repo_root}/BENCH_obs.json"
 
 "${build_dir}/examples/chaos_runner" trials=200 seed=1 \
   out="${repo_root}/BENCH_chaos.json"

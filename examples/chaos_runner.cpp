@@ -14,6 +14,7 @@
 
 #include "chaos/campaign.hpp"
 #include "chaos/shrink.hpp"
+#include "obs/export.hpp"
 #include "util/config.hpp"
 
 using namespace vdep;
@@ -105,6 +106,14 @@ int main(int argc, char** argv) {
       std::printf("  oracle: %s\n", reason.c_str());
     }
     std::printf("schedule:\n%s", failure.plan.to_string().c_str());
+    if (!failure.flight_recording.empty()) {
+      const std::string path =
+          "chaos_trial_" + std::to_string(failure.trial_index) + ".trace.json";
+      if (obs::write_file(path, failure.flight_recording)) {
+        std::printf("flight recording: %s (load in chrome://tracing)\n",
+                    path.c_str());
+      }
+    }
     if (shrink_failures) {
       const auto shrunk = chaos::shrink_schedule(failure.config, failure.plan);
       std::printf("minimal reproducer (%zu actions, %d probes):\n%s",

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: the tier-1 quick suite on the default build, then the same suite
-# under ASan/UBSan (VDEP_SANITIZE=ON), then the long chaos campaign.
+# CI gate: the tier-1 quick suite on the default build, then the trace
+# determinism gate (two same-seed failover runs must export byte-identical
+# recordings), then the same suite under ASan/UBSan (VDEP_SANITIZE=ON), then
+# the long chaos campaign.
 #
 # Usage: scripts/ci.sh [--skip-sanitize] [--skip-chaos]
 set -euo pipefail
@@ -21,6 +23,17 @@ echo "== tier-1 (default build) =="
 cmake -B "${repo_root}/build" -S "${repo_root}"
 cmake --build "${repo_root}/build" -j"${jobs}"
 ctest --test-dir "${repo_root}/build" -L tier1 --output-on-failure -j"${jobs}"
+
+echo "== trace determinism gate =="
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "${trace_dir}"' EXIT
+"${repo_root}/build/examples/trace_explorer" seed=42 \
+  out="${trace_dir}/run1.json" txt="${trace_dir}/run1.txt" > /dev/null
+"${repo_root}/build/examples/trace_explorer" seed=42 \
+  out="${trace_dir}/run2.json" txt="${trace_dir}/run2.txt" > /dev/null
+diff "${trace_dir}/run1.json" "${trace_dir}/run2.json"
+diff "${trace_dir}/run1.txt" "${trace_dir}/run2.txt"
+echo "trace exports are byte-identical across same-seed runs"
 
 if [[ "${skip_sanitize}" -eq 0 ]]; then
   echo "== tier-1 (ASan + UBSan) =="

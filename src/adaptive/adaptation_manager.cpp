@@ -1,5 +1,6 @@
 #include "adaptive/adaptation_manager.hpp"
 
+#include "obs/tracer.hpp"
 #include "util/logging.hpp"
 
 namespace vdep::adaptive {
@@ -33,14 +34,38 @@ void AdaptationManager::evaluate() {
 
   auto desired = policy_->evaluate(s);
   if (!desired) return;
-  if (replicator_.switch_in_progress()) return;
-  if (*desired == replicator_.style()) return;
+
+  // Root span for the adaptation decision; the switch multicast (and thus the
+  // whole Fig. 5 protocol downstream) parents under it via Tracer::Scope.
+  obs::Tracer& tracer = replicator_.process().kernel().tracer();
+  obs::Span span;
+  if (tracer.enabled()) {
+    span = tracer.start_span("adapt.decision", "adaptive",
+                             replicator_.process().name());
+    span.note("policy", policy_->name());
+    span.note("rate", std::to_string(s.request_rate));
+    span.note("cpu", std::to_string(s.cpu_load));
+    span.note("replicas", std::to_string(s.replicas));
+    span.note("from", replication::to_string(replicator_.style()));
+    span.note("to", replication::to_string(*desired));
+  }
+
+  if (replicator_.switch_in_progress()) {
+    span.note("action", "suppressed_switch_in_progress");
+    return;
+  }
+  if (*desired == replicator_.style()) {
+    span.note("action", "suppressed_already_current");
+    return;
+  }
 
   log_info(s.now, "adaptation",
            replicator_.process().name() + " policy '" + policy_->name() +
                "' requests switch to " + replication::to_string(*desired) +
                " (rate=" + std::to_string(s.request_rate) + " req/s)");
   ++initiated_;
+  span.note("action", "initiated");
+  obs::Tracer::Scope scope(tracer, span.context());
   replicator_.request_style_switch(*desired);
 }
 

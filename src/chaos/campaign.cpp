@@ -6,6 +6,7 @@
 #include "app/kv_store.hpp"
 #include "chaos/history.hpp"
 #include "harness/scenario.hpp"
+#include "obs/export.hpp"
 #include "util/assert.hpp"
 
 namespace vdep::chaos {
@@ -85,6 +86,7 @@ TrialResult run_trial(const TrialConfig& config, const net::FaultPlan& plan) {
   sc.checkpoint_every_requests = config.checkpoint_every_requests;
   sc.auto_recover = true;
   sc.skip_reply_dedup = config.inject_dedup_bug;
+  sc.tracing = config.record_spans;
   sc.make_servant = [&ctx](int index) {
     auto servant = std::make_unique<app::KvStoreServant>();
     servant->set_on_apply([&ctx, index](const std::string& op, const std::string& key) {
@@ -199,6 +201,12 @@ TrialResult run_trial(const TrialConfig& config, const net::FaultPlan& plan) {
     result.trace_digest = fnv1a(
         {reinterpret_cast<const std::uint8_t*>(rendered.data()), rendered.size()});
   }
+  if (config.record_spans) {
+    const obs::Tracer& tracer = scenario.kernel().tracer();
+    result.spans_recorded = tracer.spans_recorded();
+    result.spans_dropped = tracer.spans_dropped();
+    result.flight_recording = obs::to_chrome_trace(tracer);
+  }
   result.observation = std::move(obs);
   return result;
 }
@@ -235,12 +243,23 @@ CampaignResult run_campaign(
     } else {
       result.metrics.add("chaos.fail");
       result.metrics.add("chaos.fail." + style);
-      result.failures.push_back(
-          {i, trial_config, trial.plan, trial.verdict.failures});
+      // Post-mortem: replay the exact failing trial with span recording on.
+      // Determinism guarantees the replay reproduces the failure, so the
+      // flight recording shows the actual causal history behind the verdict.
+      TrialConfig replay_config = trial_config;
+      replay_config.record_spans = true;
+      const TrialResult replay = run_trial(replay_config, trial.plan);
+      result.failures.push_back({i, trial_config, trial.plan,
+                                 trial.verdict.failures, replay.flight_recording});
     }
     result.metrics.observe("chaos.recovery_ms", trial.recovery_ms);
     result.metrics.observe("chaos.completed_ops",
                            static_cast<double>(trial.completed_ops));
+    if (trial_config.record_spans) {
+      result.metrics.observe("chaos.spans_per_trial",
+                             static_cast<double>(trial.spans_recorded));
+      result.metrics.add("chaos.spans_dropped", trial.spans_dropped);
+    }
     result.recovery_series.record(SimTime{i}, trial.recovery_ms);
 
     if (on_trial) on_trial(i, trial_config, trial);

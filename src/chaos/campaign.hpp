@@ -45,6 +45,12 @@ struct TrialConfig {
 
   // Record a structured trace and digest it (determinism tests).
   bool record_trace = false;
+
+  // Record causal spans (obs::Tracer) during the trial and attach a
+  // Chrome-trace flight recording to the result. Deterministic: re-running
+  // the same (seed, config) reproduces the recording byte for byte, which is
+  // how failing campaign trials get their post-mortem recordings.
+  bool record_spans = false;
 };
 
 struct TrialResult {
@@ -56,6 +62,11 @@ struct TrialResult {
   double recovery_ms = 0.0;  // last fault effect -> workload completion
   std::uint64_t completed_ops = 0;
   std::uint64_t trace_digest = 0;  // fnv1a over the rendered trace
+
+  // Span telemetry (populated when TrialConfig::record_spans is set).
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
+  std::string flight_recording;  // Chrome-trace JSON of the whole trial
 
   [[nodiscard]] bool pass() const { return verdict.pass(); }
 };
@@ -88,6 +99,9 @@ struct CampaignFailure {
   TrialConfig config;
   net::FaultPlan plan;
   std::vector<std::string> failures;
+  // Post-mortem: the failing trial re-run deterministically with span
+  // recording on; load in chrome://tracing / ui.perfetto.dev.
+  std::string flight_recording;
 };
 
 struct CampaignResult {

@@ -4,6 +4,7 @@
 
 #include "gcs/endpoint.hpp"
 #include "net/link.hpp"
+#include "obs/tracer.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -163,17 +164,28 @@ void Daemon::send_forward_to_leader(const Forward& fwd) {
       return;
     }
     VDEP_ASSERT(leader_state_ != nullptr);
-    emit(leader_state_->handle_forward(fwd));
+    order_forward(fwd);
     return;
   }
   send_inner(leader_, fwd);
+}
+
+void Daemon::order_forward(const Forward& fwd) {
+  // The sequencing decision, as a span parented under the sender's context so
+  // the ordered hop shows up inside the request's trace.
+  obs::Span span;
+  if (fwd.trace.valid()) {
+    span = kernel().tracer().start_span("gcs.order", "gcs", name(), fwd.trace);
+    span.note("group", std::to_string(fwd.group.value()));
+  }
+  emit(leader_state_->handle_forward(fwd));
 }
 
 // --- message handlers -------------------------------------------------------------
 
 void Daemon::handle_forward(NodeId /*from*/, Forward&& fwd) {
   if (leader_ == host() && leader_state_ != nullptr && !awaiting_sync_) {
-    emit(leader_state_->handle_forward(fwd));
+    order_forward(fwd);
   } else {
     // Not the leader (stale sender routing): relay toward the current one.
     send_forward_to_leader(fwd);
@@ -244,7 +256,13 @@ void Daemon::handle_private(PrivateMsg&& msg) {
     auto eps = eit->second;
     for (Endpoint* ep : eps) {
       if (!ep->process().alive()) continue;
-      ep->deliver_private(PrivateMessage{m.sender, m.destination, m.payload});
+      obs::Span span;
+      if (m.trace.valid()) {
+        span = kernel().tracer().start_span("gcs.deliver", "gcs", name(), m.trace);
+      }
+      obs::Tracer::Scope scope(kernel().tracer(),
+                               span.active() ? span.context() : m.trace);
+      ep->deliver_private(PrivateMessage{m.sender, m.destination, m.payload, m.trace});
     }
   });
 }
@@ -273,6 +291,14 @@ void Daemon::deliver_from_buffer(GroupId group) {
 void Daemon::deliver_one(const Ordered& msg) {
   if (msg.kind == Ordered::Kind::kView) {
     View view = View::decode(msg.payload);
+    if (kernel().tracer().enabled()) {
+      // View changes start their own trace: nothing upstream caused them from
+      // the application's point of view.
+      auto span = kernel().tracer().start_span("gcs.view", "gcs", name());
+      span.note("group", std::to_string(view.group.value()));
+      span.note("view_id", std::to_string(view.view_id));
+      span.note("members", std::to_string(view.members.size()));
+    }
     // Notify local processes that are in the new view or were in the old one
     // (so leavers learn of their own removal).
     std::set<ProcessId> notify;
@@ -313,6 +339,7 @@ void Daemon::deliver_one(const Ordered& msg) {
     gm.sender = msg.origin.sender;
     gm.sender_daemon = msg.origin_daemon;
     gm.payload = msg.payload;
+    gm.trace = msg.trace;
     post(kLoopbackDelay, [this, pid = m.process, gm = std::move(gm)] {
       auto eit = endpoints_.find(pid);
       if (eit == endpoints_.end()) return;
@@ -320,6 +347,12 @@ void Daemon::deliver_one(const Ordered& msg) {
       for (Endpoint* ep : eps) {
         if (!ep->process().alive()) continue;
         if (!ep->joined_groups().contains(gm.group)) continue;
+        obs::Span span;
+        if (gm.trace.valid()) {
+          span = kernel().tracer().start_span("gcs.deliver", "gcs", name(), gm.trace);
+        }
+        obs::Tracer::Scope scope(kernel().tracer(),
+                                 span.active() ? span.context() : gm.trace);
         ep->deliver_message(gm);
       }
     });
@@ -386,6 +419,11 @@ void Daemon::maybe_finish_takeover() {
   std::sort(live.begin(), live.end());
 
   leader_state_ = std::make_unique<LeaderState>(host());
+  if (kernel().tracer().enabled()) {
+    auto span = kernel().tracer().start_span("gcs.takeover", "gcs", name());
+    span.note("term", std::to_string(term_));
+    span.note("synced_daemons", std::to_string(states.size()));
+  }
   log_info(now(), "gcs", name() + " is leader, term " + std::to_string(term_));
   emit(leader_state_->bootstrap(states, live));
 
@@ -476,6 +514,9 @@ void Daemon::submit_multicast(ProcessId pid, GroupId group, ServiceType svc,
   fwd.origin = OriginId{pid, origin_seq};
   fwd.origin_daemon = host();
   fwd.payload = std::move(payload);
+  // Capture the caller's context synchronously — by the time the CPU queue
+  // runs the send, `current()` belongs to someone else.
+  fwd.trace = kernel().tracer().current();
   const SimTime cost =
       params_.packet_cost * static_cast<std::int64_t>(net::fragment_count(fwd.payload.size()));
   network_.cpu(host()).execute(cost, guarded([this, fwd = std::move(fwd)] {
@@ -493,6 +534,7 @@ void Daemon::submit_unicast(ProcessId pid, ProcessId dst, NodeId dst_daemon,
   msg.sender_daemon = host();
   msg.destination = dst;
   msg.payload = std::move(payload);
+  msg.trace = kernel().tracer().current();
   const SimTime cost = params_.packet_cost *
                        static_cast<std::int64_t>(net::fragment_count(msg.payload.size()));
   network_.cpu(host()).execute(cost, guarded([this, dst_daemon, m = std::move(msg)] {

@@ -97,6 +97,7 @@ class Daemon : public sim::Process {
   void send_inner(NodeId to, const InnerMsg& msg);
   void emit(const LeaderState::Emissions& emissions);
   void send_forward_to_leader(const Forward& fwd);
+  void order_forward(const Forward& fwd);  // leader-side sequencing (+span)
 
   // Delivery to local endpoints.
   void deliver_from_buffer(GroupId group);

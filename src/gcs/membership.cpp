@@ -29,6 +29,7 @@ Ordered LeaderState::make_data(const GroupRec& rec, const Forward& fwd) const {
   o.origin = fwd.origin;
   o.origin_daemon = fwd.origin_daemon;
   o.payload = fwd.payload;
+  o.trace = fwd.trace;
   return o;
 }
 

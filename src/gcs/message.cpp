@@ -51,6 +51,7 @@ void Forward::encode_to(ByteWriter& w) const {
   w.u64(origin.seq);
   w.u64(origin_daemon.value());
   w.bytes(payload);
+  trace.encode_to(w);
 }
 
 Forward Forward::decode(ByteReader& r) {
@@ -64,6 +65,7 @@ Forward Forward::decode(ByteReader& r) {
   f.origin.seq = r.u64();
   f.origin_daemon = NodeId{r.u64()};
   f.payload = read_payload(r);
+  f.trace = obs::TraceContext::decode(r);
   return f;
 }
 
@@ -79,6 +81,7 @@ void Ordered::encode_to(ByteWriter& w) const {
   w.bytes(payload);
   w.u64(prev_epoch_end);
   w.u64(stable_upto);
+  trace.encode_to(w);
 }
 
 Ordered Ordered::decode(ByteReader& r) {
@@ -96,6 +99,7 @@ Ordered Ordered::decode(ByteReader& r) {
   o.payload = read_payload(r);
   o.prev_epoch_end = r.u64();
   o.stable_upto = r.u64();
+  o.trace = obs::TraceContext::decode(r);
   return o;
 }
 
@@ -192,6 +196,7 @@ void PrivateMsg::encode_to(ByteWriter& w) const {
   w.u64(sender_daemon.value());
   w.u64(destination.value());
   w.bytes(payload);
+  trace.encode_to(w);
 }
 
 PrivateMsg PrivateMsg::decode(ByteReader& r) {
@@ -200,6 +205,7 @@ PrivateMsg PrivateMsg::decode(ByteReader& r) {
   p.sender_daemon = NodeId{r.u64()};
   p.destination = ProcessId{r.u64()};
   p.payload = read_payload(r);
+  p.trace = obs::TraceContext::decode(r);
   return p;
 }
 

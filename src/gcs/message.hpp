@@ -34,6 +34,7 @@ struct Forward {
   OriginId origin;         // sending process + its per-group counter
   NodeId origin_daemon;    // daemon serving the sending process
   Payload payload;
+  obs::TraceContext trace;  // sender's causal context (zeros when untraced)
 
   void encode_to(ByteWriter& w) const;
   static Forward decode(ByteReader& r);
@@ -56,6 +57,7 @@ struct Ordered {
   // Piggybacked stability watermark for (group, epoch), as a count: every
   // member daemon holds all messages with seq < stable_upto.
   std::uint64_t stable_upto = 0;
+  obs::TraceContext trace;  // carried through from the Forward
 
   void encode_to(ByteWriter& w) const;
   static Ordered decode(ByteReader& r);
@@ -117,6 +119,7 @@ struct PrivateMsg {
   NodeId sender_daemon;
   ProcessId destination;
   Payload payload;
+  obs::TraceContext trace;  // sender's causal context (zeros when untraced)
 
   void encode_to(ByteWriter& w) const;
   static PrivateMsg decode(ByteReader& r);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace_context.hpp"
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
 #include "util/payload.hpp"
@@ -44,6 +45,7 @@ struct GroupMessage {
   ProcessId sender;
   NodeId sender_daemon;  // lets receivers reply point-to-point
   Payload payload;  // shares the ordered message's buffer across local members
+  obs::TraceContext trace;  // causal context from the sender (zeros if none)
 };
 
 // Point-to-point datagram (Spread "private group" unicast): reliable and
@@ -52,6 +54,7 @@ struct PrivateMessage {
   ProcessId sender;
   ProcessId destination;
   Payload payload;
+  obs::TraceContext trace;  // causal context from the sender (zeros if none)
 };
 
 }  // namespace vdep::gcs

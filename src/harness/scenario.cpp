@@ -81,6 +81,7 @@ Scenario::~Scenario() = default;
 
 void Scenario::build() {
   kernel_ = std::make_unique<sim::Kernel>(config_.seed);
+  if (config_.tracing) kernel_->tracer().enable();
   network_ = std::make_unique<net::Network>(*kernel_);
   channels_ = std::make_unique<net::ChannelManager>(*network_);
 

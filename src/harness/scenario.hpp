@@ -76,6 +76,12 @@ struct ScenarioConfig {
   // TEST ONLY — forwarded to ReplicatorParams::skip_reply_dedup (the chaos
   // engine's deliberately injected exactly-once bug).
   bool skip_reply_dedup = false;
+
+  // Enable the kernel's causal tracer: every request, checkpoint round,
+  // switch, and adaptation decision records simulation-time spans
+  // (export via obs/export.hpp). Off by default; the wire format is
+  // identical either way, so timing results do not change.
+  bool tracing = false;
 };
 
 struct ExperimentResult {

@@ -2,6 +2,22 @@
 
 namespace vdep::monitor {
 
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    const std::uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    out.counters[name] = value >= base ? value - base : 0;
+  }
+  out.gauges = gauges;
+  for (const auto& [name, value] : observations) {
+    auto it = earlier.observations.find(name);
+    const std::uint64_t base = it == earlier.observations.end() ? 0 : it->second;
+    out.observations[name] = value >= base ? value - base : 0;
+  }
+  return out;
+}
+
 void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
   counters_[name] += delta;
 }
@@ -22,12 +38,36 @@ std::optional<double> MetricsRegistry::gauge(const std::string& name) const {
 }
 
 void MetricsRegistry::observe(const std::string& name, double value) {
-  distributions_[name].add(value);
+  Distribution& d = distributions_[name];
+  d.stats.add(value);
+  d.histogram.add(value);
 }
 
 const RunningStats* MetricsRegistry::distribution(const std::string& name) const {
   auto it = distributions_.find(name);
-  return it == distributions_.end() ? nullptr : &it->second;
+  return it == distributions_.end() ? nullptr : &it->second.stats;
+}
+
+const LogHistogram* MetricsRegistry::histogram(const std::string& name) const {
+  auto it = distributions_.find(name);
+  return it == distributions_.end() ? nullptr : &it->second.histogram;
+}
+
+std::optional<double> MetricsRegistry::percentile(const std::string& name,
+                                                  double p) const {
+  const LogHistogram* h = histogram(name);
+  if (h == nullptr) return std::nullopt;
+  return h->percentile(p);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  for (const auto& [name, dist] : distributions_) {
+    snap.observations[name] = dist.stats.count();
+  }
+  return snap;
 }
 
 void MetricsRegistry::reset() {

@@ -2,9 +2,12 @@
 // latency, jitter, CPU load)" element of the versatile-dependability
 // framework (paper Sec. 2, item 1).
 //
-// Components publish counters and distributions under stable names; the
-// adaptation layer and the experiment harness read them without knowing the
-// producers. Everything is simulation-deterministic.
+// Components publish counters, gauges and distributions under stable names;
+// the adaptation layer and the experiment harness read them without knowing
+// the producers. Each distribution keeps running moments (mean/stddev) plus
+// a fixed-bucket log-scale histogram, so percentile queries (p50/p95/p99)
+// cost O(buckets) and no sample storage. Everything is
+// simulation-deterministic.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +19,25 @@
 
 namespace vdep::monitor {
 
+// A point-in-time copy of the registry's scalar state. Diffing two snapshots
+// gives per-phase deltas (e.g. "requests executed during the failover").
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::uint64_t> observations;  // per-distribution count
+
+  // Deltas since `earlier`: counters and observation counts subtract
+  // (missing-in-earlier reads as 0); gauges keep this snapshot's value.
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& earlier) const;
+};
+
 class MetricsRegistry {
  public:
+  struct Distribution {
+    RunningStats stats;
+    LogHistogram histogram;
+  };
+
   // Monotone counters.
   void add(const std::string& name, std::uint64_t delta = 1);
   [[nodiscard]] std::uint64_t counter(const std::string& name) const;
@@ -29,18 +49,28 @@ class MetricsRegistry {
   // Sample distributions (latency etc.).
   void observe(const std::string& name, double value);
   [[nodiscard]] const RunningStats* distribution(const std::string& name) const;
+  [[nodiscard]] const LogHistogram* histogram(const std::string& name) const;
+  // Percentile query against the named distribution's histogram; nullopt if
+  // the name is unknown.
+  [[nodiscard]] std::optional<double> percentile(const std::string& name,
+                                                 double p) const;
 
   [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
   }
   [[nodiscard]] const std::map<std::string, double>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<std::string, Distribution>& distributions() const {
+    return distributions_;
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
   void reset();
 
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
-  std::map<std::string, RunningStats> distributions_;
+  std::map<std::string, Distribution> distributions_;
 };
 
 }  // namespace vdep::monitor

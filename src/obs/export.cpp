@@ -1,0 +1,155 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace vdep::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Microseconds with three fixed decimals, computed from integer nanoseconds
+// so the formatting is exact and platform-independent.
+void append_usec(std::string& out, SimTime t) {
+  const auto ns = static_cast<std::uint64_t>(t.count());
+  out += std::to_string(ns / 1000);
+  out += '.';
+  const std::uint64_t frac = ns % 1000;
+  if (frac < 100) out += '0';
+  if (frac < 10) out += '0';
+  out += std::to_string(frac);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Tracer& tracer) {
+  // Deterministic pids: first-appearance order of the process label.
+  std::map<std::string, int> pids;
+  std::vector<const std::string*> pid_names;
+  const auto pid_of = [&](const std::string& proc) {
+    auto [it, inserted] = pids.try_emplace(proc, static_cast<int>(pids.size()) + 1);
+    if (inserted) pid_names.push_back(&it->first);
+    return it->second;
+  };
+  for (const auto& span : tracer.spans()) pid_of(span.proc);
+
+  std::string out;
+  out.reserve(tracer.spans().size() * 160 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < pid_names.size(); ++i) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(i + 1);
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    append_escaped(out, *pid_names[i]);
+    out += "\"}}";
+  }
+  for (const auto& span : tracer.spans()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, span.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, span.category);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_usec(out, span.start);
+    out += ",\"dur\":";
+    append_usec(out, span.end - span.start);
+    out += ",\"pid\":";
+    out += std::to_string(pid_of(span.proc));
+    out += ",\"tid\":0,\"args\":{\"trace\":";
+    out += std::to_string(span.trace);
+    out += ",\"span\":";
+    out += std::to_string(span.id);
+    out += ",\"parent\":";
+    out += std::to_string(span.parent);
+    for (const auto& [key, value] : span.notes) {
+      out += ",\"";
+      append_escaped(out, key);
+      out += "\":\"";
+      append_escaped(out, value);
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_text(const Tracer& tracer) {
+  const auto& spans = tracer.spans();
+  // Children of span id -> list of span ids, in id (== start) order. Spans
+  // whose parent id is unknown (dropped or foreign) render as roots.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> children;
+  std::vector<std::uint64_t> roots;
+  for (const auto& span : spans) {
+    if (span.parent != 0 && span.parent <= spans.size()) {
+      children[span.parent].push_back(span.id);
+    } else {
+      roots.push_back(span.id);
+    }
+  }
+
+  std::string out;
+  const std::function<void(std::uint64_t, int)> render = [&](std::uint64_t id,
+                                                             int depth) {
+    const auto& span = spans[id - 1];
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += '[';
+    out += std::to_string(span.trace);
+    out += '/';
+    out += std::to_string(span.id);
+    out += "] ";
+    out += span.name;
+    out += ' ';
+    out += span.proc;
+    out += ' ';
+    out += std::to_string(span.start.count());
+    out += "..";
+    out += std::to_string(span.end.count());
+    for (const auto& [key, value] : span.notes) {
+      out += ' ';
+      out += key;
+      out += '=';
+      out += value;
+    }
+    out += '\n';
+    auto it = children.find(id);
+    if (it == children.end()) return;
+    for (std::uint64_t child : it->second) render(child, depth + 1);
+  };
+  for (std::uint64_t id : roots) render(id, 0);
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  return ok;
+}
+
+}  // namespace vdep::obs

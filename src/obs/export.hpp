@@ -1,0 +1,27 @@
+// Exporters for recorded traces.
+//
+// Two renderings, both byte-deterministic for a given tracer state:
+//  - Chrome-trace / Perfetto JSON ("X" complete events, microsecond
+//    timestamps formatted from integer nanoseconds — no floating point in
+//    the formatting path), loadable in chrome://tracing or ui.perfetto.dev;
+//  - a canonical indented text tree, for golden tests and terminal reading.
+#pragma once
+
+#include <string>
+
+#include "obs/tracer.hpp"
+
+namespace vdep::obs {
+
+// Chrome trace-event JSON. Process labels map to deterministic integer pids
+// (first-appearance order) with process_name metadata events.
+[[nodiscard]] std::string to_chrome_trace(const Tracer& tracer);
+
+// Canonical text rendering: one tree per trace, children indented under
+// their parent, ids/timestamps in nanoseconds.
+[[nodiscard]] std::string render_text(const Tracer& tracer);
+
+// Writes `content` to `path` (truncating); returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace vdep::obs

@@ -1,0 +1,36 @@
+// The causal identity a request carries across process and host boundaries:
+// which trace (one per client request / view change / checkpoint round) and
+// which span within it caused the message being processed.
+//
+// A TraceContext is always wire-encoded — zeros when tracing is disabled —
+// so enabling tracing never changes message sizes, and therefore never
+// changes simulated timing. Determinism tests rely on that.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace vdep::obs {
+
+struct TraceContext {
+  std::uint64_t trace = 0;  // 0 = "no trace" (tracing off, or orphan message)
+  std::uint64_t span = 0;   // causing span within the trace
+
+  [[nodiscard]] bool valid() const { return trace != 0; }
+
+  void encode_to(ByteWriter& w) const {
+    w.u64(trace);
+    w.u64(span);
+  }
+  static TraceContext decode(ByteReader& r) {
+    TraceContext ctx;
+    ctx.trace = r.u64();
+    ctx.span = r.u64();
+    return ctx;
+  }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+}  // namespace vdep::obs

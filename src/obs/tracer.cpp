@@ -1,0 +1,35 @@
+#include "obs/tracer.hpp"
+
+namespace vdep::obs {
+
+Span Tracer::start_span_slow(std::string_view name, std::string_view category,
+                             std::string_view proc, TraceContext parent) {
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return Span{};
+  }
+  SpanRecord rec;
+  rec.id = spans_.size() + 1;
+  rec.trace = parent.valid() ? parent.trace : ++next_trace_;
+  rec.parent = parent.valid() ? parent.span : 0;
+  rec.name.assign(name);
+  rec.category.assign(category);
+  rec.proc.assign(proc);
+  rec.start = clock_();
+  rec.end = rec.start;
+  spans_.push_back(std::move(rec));
+  return Span{this, spans_.size() - 1};
+}
+
+void Tracer::end_span(std::size_t index) {
+  SpanRecord& rec = spans_[index];
+  if (!rec.open) return;
+  rec.open = false;
+  rec.end = clock_();
+}
+
+void Tracer::note_span(std::size_t index, std::string_view key, std::string_view value) {
+  spans_[index].notes.emplace_back(std::string(key), std::string(value));
+}
+
+}  // namespace vdep::obs

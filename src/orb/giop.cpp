@@ -99,6 +99,26 @@ std::optional<FtRequestContext> FtRequestContext::from_contexts(
   return std::nullopt;
 }
 
+ServiceContext trace_to_context(const obs::TraceContext& trace) {
+  CdrWriter w;
+  w.ulonglong(trace.trace);
+  w.ulonglong(trace.span);
+  return ServiceContext{kTraceContextId, std::move(w).take()};
+}
+
+obs::TraceContext trace_from_contexts(
+    const std::vector<ServiceContext>& contexts) {
+  for (const auto& sc : contexts) {
+    if (sc.context_id != kTraceContextId) continue;
+    CdrReader r(sc.data);
+    obs::TraceContext ctx;
+    ctx.trace = r.ulonglong();
+    ctx.span = r.ulonglong();
+    return ctx;
+  }
+  return {};
+}
+
 Bytes RequestMessage::encode() const {
   CdrWriter w(body.size() + 96);
   write_header(w, GiopMsgType::kRequest);

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_context.hpp"
 #include "orb/cdr.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
@@ -45,6 +46,16 @@ struct ServiceContext {
 // recognizable tags).
 inline constexpr std::uint32_t kFtRequestContextId = 0x46540001;   // "FT"+1
 inline constexpr std::uint32_t kFtGroupVersionContextId = 0x46540002;
+inline constexpr std::uint32_t kTraceContextId = 0x46540003;
+
+// Trace-context propagation: the caller's {trace, span} ride the request as a
+// service context so server-side spans parent under the client span. Always
+// injected on the replicated path (zeros when tracing is off) so message
+// sizes — and therefore simulated timing — do not depend on whether the
+// tracer is enabled.
+[[nodiscard]] ServiceContext trace_to_context(const obs::TraceContext& trace);
+[[nodiscard]] obs::TraceContext trace_from_contexts(
+    const std::vector<ServiceContext>& contexts);
 
 // FT_REQUEST service context payload: identifies the logical request across
 // retransmissions so server replicas can suppress duplicates.

@@ -28,11 +28,20 @@ std::uint32_t ClientOrb::invoke(const ObjectRef& ref, const std::string& operati
   req.object_key = ref.object_key;
   req.operation = operation;
   req.body = std::move(args);
-  pending_[req.request_id] = std::move(cb);
+
+  // Root span of the whole request tree; ends when the reply retires the
+  // pending entry. Everything downstream — transport, daemon, replicas —
+  // parents under this context.
+  obs::Span span = process_.kernel().tracer().start_span(
+      "client.request", "orb", process_.name());
+  span.note("op", operation);
+  const obs::TraceContext ctx = span.context();
+  pending_[req.request_id] = Pending{std::move(cb), std::move(span)};
 
   network_.cpu(process_.host())
       .execute(traversal_cost_,
-               process_.guarded([this, ref, giop = req.encode()]() mutable {
+               process_.guarded([this, ref, ctx, giop = req.encode()]() mutable {
+                 obs::Tracer::Scope scope(process_.kernel().tracer(), ctx);
                  transport_->send_request(ref, std::move(giop));
                }));
   return req.request_id;
@@ -53,9 +62,12 @@ void ClientOrb::on_reply_bytes(Payload&& giop) {
         }
         auto it = pending_.find(msg.reply->request_id);
         if (it == pending_.end()) return;  // late/duplicate reply
-        ResponseCb cb = std::move(it->second);
+        Pending entry = std::move(it->second);
         pending_.erase(it);
-        cb(msg.reply->status, std::move(msg.reply->body));
+        entry.span.note("status",
+                        std::to_string(static_cast<std::uint32_t>(msg.reply->status)));
+        entry.span.end();
+        entry.cb(msg.reply->status, std::move(msg.reply->body));
       }));
 }
 
@@ -66,10 +78,13 @@ ServerOrb::ServerOrb(net::Network& network, sim::Process& process, Poa& poa,
     : network_(network), process_(process), poa_(poa), traversal_cost_(traversal_cost) {}
 
 void ServerOrb::handle_request(Payload giop_request, ReplySender send_reply) {
+  // The caller's context (e.g. the replicator's rep.execute span) is only
+  // current *now*; capture it before deferring through the CPU queue.
+  const obs::TraceContext caller = process_.kernel().tracer().current();
   network_.cpu(process_.host())
       .execute(
           traversal_cost_,
-          process_.guarded([this, raw = std::move(giop_request),
+          process_.guarded([this, caller, raw = std::move(giop_request),
                             send_reply = std::move(send_reply)]() mutable {
             GiopMessage msg = decode_giop(raw);
             if (msg.type != GiopMsgType::kRequest || !msg.request) {
@@ -77,6 +92,14 @@ void ServerOrb::handle_request(Payload giop_request, ReplySender send_reply) {
               return;
             }
             RequestMessage& req = *msg.request;
+
+            // Prefer the in-process caller (the replicator's execute span);
+            // fall back to the propagated GIOP trace context (direct path).
+            obs::TraceContext parent = caller;
+            if (!parent.valid()) parent = trace_from_contexts(req.service_contexts);
+            obs::Span span = process_.kernel().tracer().start_span(
+                "orb.dispatch", "orb", process_.name(), parent);
+            span.note("op", req.operation);
 
             ReplyMessage rep;
             rep.request_id = req.request_id;
@@ -95,10 +118,18 @@ void ServerOrb::handle_request(Payload giop_request, ReplySender send_reply) {
             ++served_;
 
             if (!req.response_expected) return;
+            // std::function captures must be copyable; park the move-only
+            // span in a shared_ptr (allocated only when tracing is on).
+            std::shared_ptr<obs::Span> open;
+            if (span.active()) open = std::make_shared<obs::Span>(std::move(span));
             network_.cpu(process_.host())
                 .execute(exec_time + traversal_cost_,
-                         process_.guarded([rep = std::move(rep),
-                                           send_reply = std::move(send_reply)] {
+                         process_.guarded([this, rep = std::move(rep), open,
+                                           send_reply = std::move(send_reply)]() mutable {
+                           obs::Tracer::Scope scope(
+                               process_.kernel().tracer(),
+                               open ? open->context() : obs::TraceContext{});
+                           if (open) open->end();
                            send_reply(rep.encode());
                          }));
           }));

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "net/channel.hpp"
+#include "obs/tracer.hpp"
 #include "orb/giop.hpp"
 #include "orb/object_ref.hpp"
 #include "orb/poa.hpp"
@@ -68,12 +69,19 @@ class ClientOrb {
  private:
   void on_reply_bytes(Payload&& giop);
 
+  // The root span of each in-flight request lives here: opened at invoke(),
+  // closed when the correlated reply (or a cancel) retires the entry.
+  struct Pending {
+    ResponseCb cb;
+    obs::Span span;
+  };
+
   net::Network& network_;
   sim::Process& process_;
   SimTime traversal_cost_;
   std::unique_ptr<ClientTransport> transport_;
   std::uint32_t next_request_id_ = 1;
-  std::map<std::uint32_t, ResponseCb> pending_;
+  std::map<std::uint32_t, Pending> pending_;
 };
 
 class ServerOrb {

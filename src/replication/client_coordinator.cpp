@@ -35,11 +35,19 @@ void ClientCoordinator::send_request(const orb::ObjectRef& ref, Payload giop) {
   ctx.expiration = process_.now() + params_.request_expiration;
   parsed.request->service_contexts.push_back(ctx.to_context());
 
+  // The trace context is injected unconditionally (zeros when tracing is
+  // off): the replicated request's wire size must not depend on tracing.
+  obs::Span span = process_.kernel().tracer().start_child(
+      "coord.send", "replication", process_.name());
+  parsed.request->service_contexts.push_back(orb::trace_to_context(
+      span.active() ? span.context() : obs::TraceContext{}));
+
   RepEnvelope env{RepEnvelope::Type::kRequest, parsed.request->encode()};
 
   Pending pending;
   pending.group = ref.group->group;
   pending.wire = env.encode();
+  pending.span = std::move(span);
   const std::uint32_t request_id = parsed.request->request_id;
   auto [it, inserted] = outstanding_.emplace(request_id, std::move(pending));
   VDEP_ASSERT_MSG(inserted, "request id reused while outstanding");
@@ -54,6 +62,9 @@ void ClientCoordinator::send_request(const orb::ObjectRef& ref, Payload giop) {
 }
 
 void ClientCoordinator::transmit(std::uint32_t request_id, Pending& pending) {
+  // The multicast inherits the coord.send context so the daemon-side Forward
+  // carries it (retries rejoin the same trace).
+  obs::Tracer::Scope scope(process_.kernel().tracer(), pending.span.context());
   endpoint_->multicast(pending.group, gcs::ServiceType::kAgreed, pending.wire);
   arm_retry(request_id);
 }
@@ -67,6 +78,7 @@ void ClientCoordinator::arm_retry(std::uint32_t request_id) {
     if (pit == outstanding_.end()) return;
     if (pit->second.retries >= params_.max_retries) {
       ++expired_;
+      pit->second.span.note("outcome", "gave_up");
       log_warn(process_.now(), "client-coord",
                process_.name() + " giving up on request " + std::to_string(request_id));
       outstanding_.erase(pit);
@@ -74,6 +86,11 @@ void ClientCoordinator::arm_retry(std::uint32_t request_id) {
     }
     ++pit->second.retries;
     ++retransmissions_;
+    if (pit->second.span.active()) {
+      auto retry = process_.kernel().tracer().start_span(
+          "coord.retry", "replication", process_.name(), pit->second.span.context());
+      retry.note("attempt", std::to_string(pit->second.retries));
+    }
     transmit(request_id, pit->second);
   });
 }
@@ -132,6 +149,8 @@ void ClientCoordinator::complete(std::uint32_t request_id, Payload reply) {
   auto it = outstanding_.find(request_id);
   if (it == outstanding_.end()) return;
   it->second.retry_timer.cancel();
+  it->second.span.note("retries", std::to_string(it->second.retries));
+  it->second.span.end();
   outstanding_.erase(it);
   deliver_reply(std::move(reply));
 }

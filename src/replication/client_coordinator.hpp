@@ -58,6 +58,9 @@ class ClientCoordinator final : public orb::ClientTransport {
     Payload wire;  // envelope frame, encoded once and shared across retries
     int retries = 0;
     sim::EventHandle retry_timer;
+    // Open from first transmit to completion; retries and the final outcome
+    // are recorded as notes, so a failover shows as one long coord.send span.
+    obs::Span span;
     // Voting state.
     std::map<std::uint64_t, int> votes;          // body hash -> count
     std::map<std::uint64_t, Payload> exemplars;  // body hash -> a reply

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "gcs/view.hpp"
+#include "obs/trace_context.hpp"
 #include "replication/types.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
@@ -22,6 +23,7 @@ struct RequestRecord {
   NodeId client_daemon;     // reply destination daemon
   SimTime expiration = kTimeZero;  // FT_REQUEST expiration (0 = none)
   Payload giop;             // raw GIOP request (aliases the delivered frame)
+  obs::TraceContext trace;  // caller's context (from the GIOP trace context)
 };
 
 class ReplicationEngine {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 
+#include "obs/trace_context.hpp"
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
 #include "util/payload.hpp"
@@ -23,6 +24,7 @@ struct LoggedRequest {
   NodeId client_daemon;      // where to send the reply on replay
   SimTime expiration = kTimeZero;  // FT_REQUEST expiration (0 = none)
   Payload giop;              // the raw request (shared with the RequestRecord)
+  obs::TraceContext trace;   // caller's context, so replayed spans re-link
 };
 
 class MessageLog {

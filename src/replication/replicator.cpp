@@ -88,6 +88,9 @@ void Replicator::on_group_message(const gcs::GroupMessage& msg) {
   // Interposition cost: one replicator traversal per inbound message.
   network_.cpu(process_.host())
       .execute(params_.traversal_cost, process_.guarded([this, msg] {
+        // Re-establish the message's causal context (captured on the wire)
+        // for everything the handlers do synchronously.
+        obs::Tracer::Scope scope(process_.kernel().tracer(), msg.trace);
         RepEnvelope env = RepEnvelope::decode(msg.payload);
         switch (env.type) {
           case RepEnvelope::Type::kRequest:
@@ -107,7 +110,7 @@ void Replicator::on_group_message(const gcs::GroupMessage& msg) {
       }));
 }
 
-void Replicator::handle_request_envelope(const gcs::GroupMessage& /*msg*/, Payload giop) {
+void Replicator::handle_request_envelope(const gcs::GroupMessage& msg, Payload giop) {
   ++request_index_;
   rate_.record(process_.now());
 
@@ -122,12 +125,26 @@ void Replicator::handle_request_envelope(const gcs::GroupMessage& /*msg*/, Paylo
   rec.client_daemon = ft->client_daemon;
   rec.expiration = ft->expiration;
   rec.giop = std::move(giop);
+  // The injected GIOP trace context survives the group layer's re-framing;
+  // the group message's own context is the fallback.
+  rec.trace = orb::trace_from_contexts(parsed.request->service_contexts);
+  if (!rec.trace.valid()) rec.trace = msg.trace;
 
   if (uninitialized_) {
+    if (rec.trace.valid()) {
+      auto span = process_.kernel().tracer().start_span(
+          "rep.enqueue", "replication", process_.name(), rec.trace);
+      span.note("reason", "state_transfer_pending");
+    }
     log_request(rec);
     return;
   }
   if (holding_) {
+    if (rec.trace.valid()) {
+      auto span = process_.kernel().tracer().start_span(
+          "rep.enqueue", "replication", process_.name(), rec.trace);
+      span.note("reason", "quiescence_hold");
+    }
     holdq_.push_back(std::move(rec));
     return;
   }
@@ -139,6 +156,8 @@ void Replicator::handle_checkpoint(const CheckpointMsg& msg) {
     // Our own checkpoint completed the SAFE round: every member daemon holds
     // it. Quiescence ends here (the paper's checkpoint blackout).
     outstanding_checkpoint_.reset();
+    checkpoint_span_.note("checkpoint_id", std::to_string(msg.checkpoint_id));
+    checkpoint_span_.end();
     if (switch_awaiting_checkpoint_) {
       complete_switch();
       return;
@@ -180,6 +199,12 @@ void Replicator::handle_switch(const SwitchMsg& msg) {
 
   switch_target_ = msg.target;
   switch_started_ = process_.now();
+  // Parented under the initiator's decision span (the switch multicast
+  // carried its context, re-established by on_group_message's scope).
+  switch_span_ = process_.kernel().tracer().start_child(
+      "rep.switch", "replication", process_.name());
+  switch_span_.note("from", to_string(engine_->style()));
+  switch_span_.note("to", to_string(msg.target));
   log_info(process_.now(), "replicator",
            process_.name() + " switch " + to_string(engine_->style()) + " -> " +
                to_string(msg.target));
@@ -189,7 +214,10 @@ void Replicator::handle_switch(const SwitchMsg& msg) {
     // messages; the primary sends one more checkpoint; backups wait for it.
     holding_ = true;
     switch_awaiting_checkpoint_ = true;
-    if (engine_->responder()) take_checkpoint();
+    if (engine_->responder()) {
+      obs::Tracer::Scope scope(process_.kernel().tracer(), switch_span_.context());
+      take_checkpoint();
+    }
   } else {
     // Step II, case 2 (active -> passive, or within-family change): the
     // replicas share identical state; the new roles derive deterministically
@@ -207,6 +235,7 @@ void Replicator::complete_switch() {
   switch_target_.reset();
   switch_awaiting_checkpoint_ = false;
   engine_->on_start();
+  switch_span_.end();
   switch_history_.push_back(SwitchRecord{switch_started_, process_.now(), from, to});
   log_info(process_.now(), "replicator",
            process_.name() + " now " + to_string(to) +
@@ -252,6 +281,7 @@ void Replicator::on_view(const gcs::View& view) {
     if (old_head_gone) {
       log_info(process_.now(), "replicator",
                process_.name() + " switch rollback: primary crashed before checkpoint");
+      switch_span_.note("rollback", "primary_crashed_before_checkpoint");
       ensure_cold_applied();
       replay_log(true);
       complete_switch();
@@ -265,6 +295,11 @@ void Replicator::on_view(const gcs::View& view) {
 }
 
 void Replicator::request_state_transfer() {
+  // Roots its own trace: the donor's checkpoint round parents under it via
+  // the multicast's context.
+  obs::Span span = process_.kernel().tracer().start_span(
+      "rep.state_request", "replication", process_.name());
+  obs::Tracer::Scope scope(process_.kernel().tracer(), span.context());
   RepEnvelope env{RepEnvelope::Type::kStateRequest, {}};
   endpoint_->multicast(group_, gcs::ServiceType::kAgreed, env.encode());
 }
@@ -272,11 +307,17 @@ void Replicator::request_state_transfer() {
 // --- execution ----------------------------------------------------------------------
 
 void Replicator::execute_request(const RequestRecord& rec, bool send_reply) {
+  obs::Tracer& tracer = process_.kernel().tracer();
   // FT-CORBA request expiration: the client has given up on this request (it
   // stopped retrying long ago), so executing it would only waste the cycle.
   // Deterministic across replicas: expiration and delivery order are shared.
   if (rec.expiration > kTimeZero && process_.now() > rec.expiration) {
     ++expired_dropped_;
+    if (rec.trace.valid()) {
+      auto span = tracer.start_span("rep.execute", "replication", process_.name(),
+                                    rec.trace);
+      span.note("outcome", "expired_drop");
+    }
     return;
   }
   // Exactly-once: retention ids are per-client monotone, so anything at or
@@ -284,13 +325,23 @@ void Replicator::execute_request(const RequestRecord& rec, bool send_reply) {
   // group-layer replay, or already covered by an installed checkpoint).
   auto& frontier = applied_rid_[rec.rid.client];
   if (rec.rid.seq <= frontier && !params_.skip_reply_dedup) {
+    obs::Span span;
+    if (rec.trace.valid()) {
+      span = tracer.start_span("rep.execute", "replication", process_.name(),
+                               rec.trace);
+    }
     if (send_reply) {
       if (auto cached = reply_cache_.get(rec.rid)) {
+        span.note("outcome", "dedup_cache_hit");
         send_reply_to_client(rec, *cached);
+      } else {
+        span.note("outcome", "dedup_cache_miss");
       }
       // Cache miss: the original execution is still in flight (its reply
       // will go out when it completes) or the reply aged out of the cache —
       // the client's next retry reaches a fresher cache.
+    } else {
+      span.note("outcome", "dedup_suppressed");
     }
     return;
   }
@@ -299,15 +350,30 @@ void Replicator::execute_request(const RequestRecord& rec, bool send_reply) {
   quiescence_.begin_execution();
   ++executed_count_;
   ++executions_since_checkpoint_;
-  orb_.handle_request(rec.giop, [this, rid = rec.rid,
+
+  // Open until the servant's reply comes back through the ORB.
+  obs::Span exec_span;
+  if (rec.trace.valid()) {
+    exec_span = tracer.start_span("rep.execute", "replication", process_.name(),
+                                  rec.trace);
+    exec_span.note("outcome", "executed");
+  }
+  obs::Tracer::Scope scope(tracer, exec_span.active() ? exec_span.context()
+                                                      : rec.trace);
+  std::shared_ptr<obs::Span> open;
+  if (exec_span.active()) open = std::make_shared<obs::Span>(std::move(exec_span));
+  orb_.handle_request(rec.giop, [this, open, rid = rec.rid,
                                  client_daemon = rec.client_daemon,
+                                 trace = rec.trace,
                                  send_reply](Payload reply_giop) {
+    if (open) open->end();
     // The cache entry and the reply in flight share one buffer.
     reply_cache_.put(rid, reply_giop);
     if (send_reply) {
       RequestRecord stub;
       stub.rid = rid;
       stub.client_daemon = client_daemon;
+      stub.trace = trace;
       send_reply_to_client(stub, reply_giop);
     }
     quiescence_.end_execution();
@@ -315,8 +381,8 @@ void Replicator::execute_request(const RequestRecord& rec, bool send_reply) {
 }
 
 void Replicator::log_request(const RequestRecord& rec) {
-  log_.append(
-      LoggedRequest{rec.index, rec.rid, rec.client_daemon, rec.expiration, rec.giop});
+  log_.append(LoggedRequest{rec.index, rec.rid, rec.client_daemon, rec.expiration,
+                            rec.giop, rec.trace});
 }
 
 void Replicator::send_reply_to_client(const RequestRecord& rec, const Payload& reply_giop) {
@@ -324,7 +390,15 @@ void Replicator::send_reply_to_client(const RequestRecord& rec, const Payload& r
   network_.cpu(process_.host())
       .execute(params_.traversal_cost,
                process_.guarded([this, rid = rec.rid, daemon = rec.client_daemon,
+                                 trace = rec.trace,
                                  reply = augment_reply(reply_giop)]() mutable {
+                 obs::Span span;
+                 if (trace.valid()) {
+                   span = process_.kernel().tracer().start_span(
+                       "rep.reply", "replication", process_.name(), trace);
+                 }
+                 obs::Tracer::Scope scope(process_.kernel().tracer(),
+                                          span.active() ? span.context() : trace);
                  endpoint_->unicast(rid.client, daemon, std::move(reply));
                }));
 }
@@ -346,6 +420,13 @@ Bytes Replicator::augment_reply(const Payload& reply_giop) const {
 void Replicator::take_checkpoint() {
   if (outstanding_checkpoint_.has_value()) return;  // one in flight already
   holding_ = true;
+  // Open across quiescence wait + serialization + the SAFE round; ends when
+  // our own checkpoint message comes back stable (handle_checkpoint). Parent
+  // is whatever caused the round: timer, switch, or a joiner's state request.
+  if (!checkpoint_span_.active()) {
+    checkpoint_span_ = process_.kernel().tracer().start_child(
+        "rep.checkpoint", "replication", process_.name());
+  }
   quiescence_.when_quiescent(process_.guarded([this] {
     ++checkpoint_counter_;
     executions_since_checkpoint_ = 0;
@@ -357,12 +438,14 @@ void Replicator::take_checkpoint() {
     msg.reply_cache = reply_cache_.serialize_recent(params_.checkpoint_reply_entries);
     outstanding_checkpoint_ = id;
     if (on_checkpoint_) on_checkpoint_(id);
+    checkpoint_span_.note("state_bytes", std::to_string(msg.app_state.size()));
 
     // Serialization occupies the CPU; the multicast submission queues behind
     // it on the same host CPU, so the cost delays the checkpoint naturally.
     network_.cpu(process_.host())
         .execute(snapshot_cpu_time(app_.state_size(), params_.snapshot_bytes_per_sec),
                  [] {});
+    obs::Tracer::Scope scope(process_.kernel().tracer(), checkpoint_span_.context());
     RepEnvelope env{RepEnvelope::Type::kCheckpoint, msg.encode()};
     endpoint_->multicast(group_, gcs::ServiceType::kSafe, env.encode());
   }));
@@ -372,6 +455,9 @@ void Replicator::take_local_checkpoint() {
   if (outstanding_checkpoint_.has_value() || holding_) return;
   holding_ = true;
   quiescence_.when_quiescent(process_.guarded([this] {
+    obs::Span span = process_.kernel().tracer().start_child(
+        "rep.checkpoint", "replication", process_.name());
+    span.note("local", "1");
     ++checkpoint_counter_;
     executions_since_checkpoint_ = 0;
     CheckpointMsg msg;
@@ -395,6 +481,12 @@ void Replicator::install_checkpoint(const CheckpointMsg& msg) {
   // requests the snapshot already contains; the delivery pipeline guarantees
   // installs only happen on quiescent (non-executing) replicas.
   VDEP_ASSERT_MSG(quiescence_.quiescent(), "checkpoint install while executing");
+  if (process_.kernel().tracer().enabled()) {
+    auto span = process_.kernel().tracer().start_child("rep.install", "replication",
+                                                       process_.name());
+    span.note("checkpoint_id", std::to_string(msg.checkpoint_id));
+    span.note("state_bytes", std::to_string(msg.app_state.size()));
+  }
   app_.restore(msg.app_state);
   reply_cache_.restore(msg.reply_cache);
   // The state now *is* the snapshot; the applied frontier must match it, and
@@ -423,11 +515,18 @@ void Replicator::replay_log(bool send_replies) {
     rec.client_daemon = e.client_daemon;
     rec.expiration = e.expiration;
     rec.giop = e.giop;
+    rec.trace = e.trace;
     execute_request(rec, send_replies);
   }
 }
 
 void Replicator::promote_warm() {
+  if (process_.kernel().tracer().enabled()) {
+    auto span = process_.kernel().tracer().start_span("rep.promote", "replication",
+                                                      process_.name());
+    span.note("style", "warm_passive");
+    span.note("replayed", std::to_string(log_.size()));
+  }
   log_info(process_.now(), "replicator",
            process_.name() + " promoted to primary (warm), replaying " +
                std::to_string(log_.size()) + " requests");
@@ -448,6 +547,12 @@ void Replicator::promote_cold() {
   cold_launch_pending_ = true;
   log_info(process_.now(), "replicator", process_.name() + " launching cold backup");
   process_.post(params_.cold_launch_delay, [this] {
+    if (process_.kernel().tracer().enabled()) {
+      auto span = process_.kernel().tracer().start_span("rep.promote", "replication",
+                                                        process_.name());
+      span.note("style", "cold_passive");
+      span.note("replayed", std::to_string(log_.size()));
+    }
     if (stored_checkpoint_) install_checkpoint(*stored_checkpoint_);
     cold_launch_pending_ = false;
     replay_log(true);

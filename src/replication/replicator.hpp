@@ -192,6 +192,11 @@ class Replicator {
   bool stopped_ = false;
   sim::EventHandle engine_timer_;
 
+  // Long-running protocol spans: opened when the round starts, closed when
+  // the SAFE round / switch completes (possibly many deliveries later).
+  obs::Span checkpoint_span_;
+  obs::Span switch_span_;
+
   // Switch protocol state (Fig. 5).
   std::optional<ReplicationStyle> switch_target_;
   bool switch_awaiting_checkpoint_ = false;

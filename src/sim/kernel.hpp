@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/tracer.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -54,6 +55,12 @@ class Kernel {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
 
+  // The experiment's tracer: one per kernel so span/trace ids are sequential
+  // within a run and independent across runs. Off by default; the disabled
+  // path is a single branch (see obs/tracer.hpp).
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
+
  private:
   void execute_one();
 
@@ -62,6 +69,7 @@ class Kernel {
   Rng root_rng_;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  obs::Tracer tracer_{[this] { return now_; }};
 };
 
 }  // namespace vdep::sim

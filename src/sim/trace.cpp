@@ -20,9 +20,10 @@ std::vector<TimeSeries::Point> TimeSeries::resample(SimTime start, SimTime end,
   return out;
 }
 
-void TraceRecorder::add(SimTime at, std::string component, std::string event) {
+void TraceRecorder::add(SimTime at, std::string_view component,
+                        std::string_view event) {
   if (!enabled_) return;
-  entries_.push_back({at, std::move(component), std::move(event)});
+  entries_.push_back({at, std::string(component), std::string(event)});
 }
 
 std::string TraceRecorder::render() const {

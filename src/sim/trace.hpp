@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/time.hpp"
@@ -39,13 +40,16 @@ class TimeSeries {
 };
 
 // Append-only structured trace. Disabled by default; when disabled, add() is
-// a no-op so hot paths can trace unconditionally.
+// a true no-op — the string_view parameters mean no std::string is
+// constructed for the arguments, so hot paths can trace unconditionally.
+// (Callers that *concatenate* into their arguments should still guard on
+// enabled() to skip building the temporaries.)
 class TraceRecorder {
  public:
   void enable() { enabled_ = true; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
-  void add(SimTime at, std::string component, std::string event);
+  void add(SimTime at, std::string_view component, std::string_view event);
 
   struct Entry {
     SimTime at;

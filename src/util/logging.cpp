@@ -47,6 +47,11 @@ void Logger::init_from_env() {
   else g_level = LogLevel::kOff;
 }
 
+void Logger::reset_for_testing() {
+  g_level = LogLevel::kOff;
+  g_env_checked = false;
+}
+
 void Logger::log(LogLevel level, SimTime sim_now, const std::string& component,
                  const std::string& message) {
   init_from_env();

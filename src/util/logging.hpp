@@ -23,6 +23,10 @@ class Logger {
   // Initialize from VDEP_LOG if set; called lazily on first use.
   static void init_from_env();
 
+  // Clears the cached level and env-checked flag so init_from_env re-reads
+  // VDEP_LOG. For tests only.
+  static void reset_for_testing();
+
   static void log(LogLevel level, SimTime sim_now, const std::string& component,
                   const std::string& message);
 };

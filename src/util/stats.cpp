@@ -91,6 +91,79 @@ double Histogram::bucket_lo(std::size_t i) const {
 
 double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i) + width_; }
 
+std::size_t LogHistogram::bucket_index(double x) {
+  if (!(x > 0.0)) return 0;  // zero, negatives and NaN land in the floor bucket
+  int exp = 0;
+  // frexp: x = mantissa * 2^exp with mantissa in [0.5, 1). IEEE-exact, so the
+  // bucketing is identical on every platform (no transcendental functions).
+  const double mantissa = std::frexp(x, &exp);
+  if (exp <= kMinExponent) return 0;
+  if (exp > kMaxExponent) return kBuckets - 1;
+  // Sub-bucket within the octave [2^(exp-1), 2^exp): mantissa*2 is in [1,2).
+  const auto sub = static_cast<std::size_t>((mantissa * 2.0 - 1.0) *
+                                            static_cast<double>(kSubBuckets));
+  return 1 +
+         static_cast<std::size_t>(exp - 1 - kMinExponent) * kSubBuckets +
+         std::min(sub, kSubBuckets - 1);
+}
+
+double LogHistogram::bucket_lower_bound(std::size_t index) {
+  if (index == 0) return 0.0;
+  if (index >= kBuckets - 1) return std::ldexp(1.0, kMaxExponent);
+  const std::size_t i = index - 1;
+  const int exp = kMinExponent + static_cast<int>(i / kSubBuckets);
+  const auto sub = static_cast<double>(i % kSubBuckets);
+  return std::ldexp(1.0 + sub / static_cast<double>(kSubBuckets), exp);
+}
+
+void LogHistogram::add(double x) {
+  if (total_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++total_;
+  sum_ += x;
+  ++counts_[bucket_index(x)];
+}
+
+double LogHistogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  VDEP_ASSERT(p >= 0.0 && p <= 100.0);
+  // Nearest-rank with p=100 pinned to the true maximum (the rank-N sample is
+  // the max, but a bucket lower bound would under-report it).
+  if (p >= 100.0) return max_;
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil((p / 100.0) * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // The bucket's lower bound, clamped to the observed range so that
+      // percentile(0) == min() and percentile(100) <= max().
+      return std::clamp(bucket_lower_bound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+}
+
+void LogHistogram::reset() { *this = LogHistogram{}; }
+
 SlidingRate::SlidingRate(SimTime window) : window_(window) {
   VDEP_ASSERT(window > kTimeZero);
 }

@@ -79,6 +79,50 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+// Fixed-bucket log-scale histogram for non-negative samples (latencies in
+// us, sizes in bytes). Bucket boundaries are geometric — kSubBuckets per
+// octave — so relative error is bounded (~9%) across twelve decades at a
+// fixed, small memory cost, unlike Sampler which stores every sample.
+// Percentiles interpolate nothing: they return the lower bound of the bucket
+// holding the rank (clamped to the exact observed min/max), which keeps
+// results deterministic and platform-independent.
+class LogHistogram {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return total_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return total_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+
+  // p in [0, 100]. Returns 0 with no samples.
+  [[nodiscard]] double percentile(double p) const;
+
+  void merge(const LogHistogram& other);
+  void reset();
+
+  // 16 buckets per octave; exponents cover ~[2^-32, 2^32).
+  static constexpr std::size_t kSubBuckets = 16;
+  static constexpr int kMinExponent = -32;
+  static constexpr int kMaxExponent = 32;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExponent - kMinExponent) * kSubBuckets + 2;
+
+  [[nodiscard]] static std::size_t bucket_index(double x);
+  [[nodiscard]] static double bucket_lower_bound(std::size_t index);
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const {
+    return counts_[index];
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 // Events-per-second estimator over a sliding time window. This is the
 // "request arrival rate observed at the server" signal that drives the
 // adaptive-replication policy of Fig. 6.

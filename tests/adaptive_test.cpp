@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "adaptive/adaptation_manager.hpp"
 #include "adaptive/contract.hpp"
 #include "adaptive/policy.hpp"
@@ -183,6 +185,61 @@ TEST(AdaptationManager, SwitchesStylesUnderBurstyLoad) {
   EXPECT_EQ(validate_switch_history(result.switches), std::nullopt);
   // The service kept serving throughout.
   EXPECT_GT(result.totals.completed, 5000u);
+}
+
+TEST(AdaptationManager, DecisionsEmitSpansThatParentTheSwitch) {
+  harness::ScenarioConfig config;
+  config.clients = 2;
+  config.replicas = 3;
+  config.max_replicas = 3;
+  config.style = ReplicationStyle::kWarmPassive;
+  config.enable_replicated_state = true;
+  config.tracing = true;
+  RateThresholdPolicy::Config policy;
+  policy.low_rate = 300;
+  policy.high_rate = 600;
+  config.adaptation = policy;
+  harness::Scenario scenario(config);
+
+  harness::Scenario::OpenLoopConfig open;
+  open.plan = app::RatePlan::fig6_burst(200, 1000, sec(3), 4);
+  open.duration = sec(12);
+  const auto result = scenario.run_open_loop(open);
+  ASSERT_GE(result.switches.size(), 2u);
+
+  // Every initiated switch traces back to an adapt.decision root span with
+  // the policy's reasoning attached, and the Fig. 5 protocol spans
+  // (rep.switch on the members) land in the same trace.
+  const auto& spans = scenario.kernel().tracer().spans();
+  std::size_t initiated = 0;
+  std::set<std::uint64_t> decision_traces;
+  for (const auto& span : spans) {
+    if (span.name != "adapt.decision") continue;
+    EXPECT_EQ(span.parent, 0u) << "decisions are trace roots";
+    bool has_policy = false;
+    bool has_action = false;
+    for (const auto& [key, value] : span.notes) {
+      if (key == "policy") has_policy = value == "rate_threshold";
+      if (key == "action" && value == "initiated") has_action = true;
+    }
+    EXPECT_TRUE(has_policy);
+    if (has_action) {
+      ++initiated;
+      decision_traces.insert(span.trace);
+    }
+  }
+  EXPECT_GE(initiated, result.switches.size());
+
+  std::set<std::uint64_t> switch_traces;
+  for (const auto& span : spans) {
+    if (span.name == "rep.switch") switch_traces.insert(span.trace);
+  }
+  std::size_t linked = 0;
+  for (std::uint64_t trace : switch_traces) {
+    if (decision_traces.count(trace)) ++linked;
+  }
+  EXPECT_GE(linked, result.switches.size())
+      << "each completed switch should descend from a decision span";
 }
 
 }  // namespace

@@ -82,6 +82,32 @@ TEST(ChaosTrial, SameSeedSameConfigIsByteIdentical) {
   EXPECT_NE(a.trace_digest, c.trace_digest);
 }
 
+TEST(ChaosTrial, RecordedSpansMakeDeterministicFlightRecordings) {
+  TrialConfig config = small_trial(23);
+  config.record_spans = true;
+  const TrialResult a = run_trial(config, primary_crash_plan(config));
+  EXPECT_GT(a.spans_recorded, 0u);
+  EXPECT_EQ(a.spans_dropped, 0u);
+  ASSERT_FALSE(a.flight_recording.empty());
+  EXPECT_NE(a.flight_recording.find("client.request"), std::string::npos);
+  EXPECT_NE(a.flight_recording.find("rep.promote"), std::string::npos);
+
+  // Re-running the same (config, plan) reproduces the recording byte for
+  // byte — this is what gives failing campaign trials citable post-mortems.
+  const TrialResult b = run_trial(config, primary_crash_plan(config));
+  EXPECT_EQ(a.spans_recorded, b.spans_recorded);
+  EXPECT_EQ(a.flight_recording, b.flight_recording);
+
+  // And recording spans does not change the simulated outcome.
+  TrialConfig plain = config;
+  plain.record_spans = false;
+  const TrialResult c = run_trial(plain, primary_crash_plan(plain));
+  EXPECT_EQ(c.spans_recorded, 0u);
+  EXPECT_TRUE(c.flight_recording.empty());
+  EXPECT_EQ(a.completed_ops, c.completed_ops);
+  EXPECT_EQ(a.finished_at, c.finished_at);
+}
+
 TEST(ChaosTrial, HealthyStackSurvivesPrimaryCrash) {
   const TrialConfig config = small_trial(5);
   const TrialResult result = run_trial(config, primary_crash_plan(config));

@@ -32,6 +32,46 @@ TEST(MetricsRegistry, CountersGaugesDistributions) {
   EXPECT_EQ(m.counter("requests"), 0u);
 }
 
+TEST(MetricsRegistry, PercentilesFromLogHistogram) {
+  MetricsRegistry m;
+  for (int i = 1; i <= 1000; ++i) m.observe("latency", i);
+  ASSERT_NE(m.histogram("latency"), nullptr);
+  EXPECT_EQ(m.histogram("latency")->count(), 1000u);
+  ASSERT_TRUE(m.percentile("latency", 50).has_value());
+  EXPECT_NEAR(*m.percentile("latency", 50), 500.0, 500.0 * 0.05);
+  EXPECT_NEAR(*m.percentile("latency", 99), 990.0, 990.0 * 0.05);
+  EXPECT_DOUBLE_EQ(*m.percentile("latency", 100), 1000.0);
+  EXPECT_FALSE(m.percentile("missing", 50).has_value());
+  EXPECT_EQ(m.histogram("missing"), nullptr);
+
+  // distributions() exposes both views under one name.
+  const auto& all = m.distributions();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_DOUBLE_EQ(all.at("latency").stats.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(all.at("latency").histogram.max(), 1000.0);
+}
+
+TEST(MetricsRegistry, SnapshotDiffGivesPerPhaseDeltas) {
+  MetricsRegistry m;
+  m.add("executed", 10);
+  m.set_gauge("load", 0.4);
+  m.observe("latency", 5.0);
+  const MetricsSnapshot before = m.snapshot();
+
+  m.add("executed", 7);
+  m.add("new_counter", 3);  // appears only after the first snapshot
+  m.set_gauge("load", 0.9);
+  m.observe("latency", 6.0);
+  m.observe("latency", 7.0);
+  const MetricsSnapshot after = m.snapshot();
+
+  const MetricsSnapshot delta = after.diff(before);
+  EXPECT_EQ(delta.counters.at("executed"), 7u);
+  EXPECT_EQ(delta.counters.at("new_counter"), 3u);  // missing-in-earlier = 0
+  EXPECT_DOUBLE_EQ(delta.gauges.at("load"), 0.9);   // gauges keep last value
+  EXPECT_EQ(delta.observations.at("latency"), 2u);
+}
+
 TEST(RateEstimator, SmoothedRate) {
   RateEstimator est(msec(100), /*ewma_alpha=*/1.0);  // alpha 1: no smoothing
   for (int i = 0; i < 50; ++i) est.record(msec(i * 2));

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace vdep {
+namespace {
+
+// Each test restores the logger to its pristine lazy-init state; the fixture
+// also saves/restores VDEP_LOG so runs with the variable set stay green.
+class LoggerEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prior = std::getenv("VDEP_LOG");
+    if (prior != nullptr) saved_ = prior;
+    Logger::reset_for_testing();
+  }
+  void TearDown() override {
+    if (saved_.empty()) unsetenv("VDEP_LOG");
+    else setenv("VDEP_LOG", saved_.c_str(), 1);
+    Logger::reset_for_testing();
+  }
+  static void set_env(const char* value) { setenv("VDEP_LOG", value, 1); }
+
+ private:
+  std::string saved_;
+};
+
+TEST_F(LoggerEnv, DefaultIsOff) {
+  unsetenv("VDEP_LOG");
+  EXPECT_EQ(Logger::level(), LogLevel::kOff);
+}
+
+TEST_F(LoggerEnv, ParsesEveryLevel) {
+  const std::pair<const char*, LogLevel> cases[] = {
+      {"trace", LogLevel::kTrace}, {"debug", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},   {"warn", LogLevel::kWarn},
+      {"error", LogLevel::kError}, {"off", LogLevel::kOff},
+  };
+  for (const auto& [value, expected] : cases) {
+    Logger::reset_for_testing();
+    set_env(value);
+    EXPECT_EQ(Logger::level(), expected) << "VDEP_LOG=" << value;
+  }
+}
+
+TEST_F(LoggerEnv, UnknownValueFallsBackToOff) {
+  set_env("verbose");
+  EXPECT_EQ(Logger::level(), LogLevel::kOff);
+  Logger::reset_for_testing();
+  set_env("");
+  EXPECT_EQ(Logger::level(), LogLevel::kOff);
+  Logger::reset_for_testing();
+  set_env("TRACE");  // parsing is case-sensitive by design
+  EXPECT_EQ(Logger::level(), LogLevel::kOff);
+}
+
+TEST_F(LoggerEnv, EnvReadOnceUntilReset) {
+  set_env("debug");
+  EXPECT_EQ(Logger::level(), LogLevel::kDebug);
+  set_env("error");  // cached: no re-read without reset
+  EXPECT_EQ(Logger::level(), LogLevel::kDebug);
+  Logger::reset_for_testing();
+  EXPECT_EQ(Logger::level(), LogLevel::kError);
+}
+
+TEST_F(LoggerEnv, SetLevelOverridesEnv) {
+  set_env("trace");
+  Logger::set_level(LogLevel::kWarn);  // explicit wins; env never consulted
+  EXPECT_EQ(Logger::level(), LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace vdep

@@ -86,6 +86,72 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
 }
 
+TEST(LogHistogram, CountsMomentsAndRange) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  for (double v : {1.0, 2.0, 4.0, 8.0}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.75);
+}
+
+TEST(LogHistogram, PercentileNearestRankWithinOneSubBucket) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  // Bucket lower bounds are exact to within one sub-bucket (2^(1/16) ~ 4.4%).
+  EXPECT_NEAR(h.percentile(50), 500.0, 500.0 * 0.05);
+  EXPECT_NEAR(h.percentile(95), 950.0, 950.0 * 0.05);
+  EXPECT_NEAR(h.percentile(99), 990.0, 990.0 * 0.05);
+  // Extremes clamp to the observed range exactly.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(LogHistogram, PointMassIsExact) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 42.0);
+}
+
+TEST(LogHistogram, BucketIndexIsMonotone) {
+  double prev = 0.0;
+  std::size_t prev_index = 0;
+  for (double v = 1e-6; v < 1e6; v *= 1.3) {
+    const std::size_t index = LogHistogram::bucket_index(v);
+    EXPECT_GE(index, prev_index) << "regressed at " << v << " from " << prev;
+    EXPECT_LE(LogHistogram::bucket_lower_bound(index), v * (1 + 1e-12));
+    prev = v;
+    prev_index = index;
+  }
+}
+
+TEST(LogHistogram, MergeMatchesCombined) {
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram all;
+  for (int i = 1; i <= 50; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    b.add(i);
+    all.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.percentile(50), all.percentile(50));
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
 TEST(SlidingRate, WindowedRate) {
   SlidingRate rate(msec(100));
   for (int i = 0; i < 10; ++i) rate.record(msec(i * 10));
