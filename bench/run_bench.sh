@@ -2,7 +2,9 @@
 # Builds the micro-benchmarks in Release mode and records their results at
 # the repo root: BENCH_substrate.json (substrate components), BENCH_obs.json
 # (observability layer — span costs and the tracing-off/on scenario pair),
-# then runs the seeded chaos campaign and records BENCH_chaos.json.
+# BENCH_checkpoint.json (incremental checkpointing — delta vs. full bytes at
+# swept dirty fractions, and the live checkpoint stream at anchor interval
+# 1 vs. 16), then runs the seeded chaos campaign and records BENCH_chaos.json.
 #
 # Usage: bench/run_bench.sh [extra google-benchmark args...]
 set -euo pipefail
@@ -12,7 +14,8 @@ build_dir="${repo_root}/build-bench"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j"$(nproc)" \
-  --target micro_substrate --target micro_obs --target chaos_runner
+  --target micro_substrate --target micro_obs --target micro_checkpoint \
+  --target chaos_runner
 
 "${build_dir}/bench/micro_substrate" \
   --benchmark_format=json \
@@ -29,6 +32,14 @@ echo "wrote ${repo_root}/BENCH_substrate.json"
   "$@"
 
 echo "wrote ${repo_root}/BENCH_obs.json"
+
+"${build_dir}/bench/micro_checkpoint" \
+  --benchmark_format=json \
+  --benchmark_out="${repo_root}/BENCH_checkpoint.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote ${repo_root}/BENCH_checkpoint.json"
 
 "${build_dir}/examples/chaos_runner" trials=200 seed=1 \
   out="${repo_root}/BENCH_chaos.json"

@@ -24,6 +24,11 @@ cmake -B "${repo_root}/build" -S "${repo_root}"
 cmake --build "${repo_root}/build" -j"${jobs}"
 ctest --test-dir "${repo_root}/build" -L tier1 --output-on-failure -j"${jobs}"
 
+echo "== checkpoint micro-benchmark smoke run =="
+cmake --build "${repo_root}/build" -j"${jobs}" --target micro_checkpoint
+"${repo_root}/build/bench/micro_checkpoint" --benchmark_min_time=0.001 > /dev/null
+echo "micro_checkpoint runs clean"
+
 echo "== trace determinism gate =="
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "${trace_dir}"' EXIT

@@ -1,6 +1,7 @@
 #include "app/kv_store.hpp"
 
 #include "orb/cdr.hpp"
+#include "util/assert.hpp"
 
 namespace vdep::app {
 
@@ -17,6 +18,7 @@ orb::Servant::Result KvStoreServant::invoke(const std::string& operation,
       result.cpu_time = config_.write_time;
       const bool existed = data_.contains(key);
       data_[key] = value;
+      mark_written(key);
       orb::CdrWriter w;
       w.boolean(existed);
       result.output = std::move(w).take();
@@ -29,6 +31,7 @@ orb::Servant::Result KvStoreServant::invoke(const std::string& operation,
       result.cpu_time = config_.write_time;
       std::string& cell = data_[key];
       cell += value;
+      mark_written(key);
       orb::CdrWriter w;
       w.ulong(static_cast<std::uint32_t>(cell.size()));
       result.output = std::move(w).take();
@@ -49,7 +52,9 @@ orb::Servant::Result KvStoreServant::invoke(const std::string& operation,
       const std::string key = r.string();
       result.cpu_time = config_.write_time;
       orb::CdrWriter w;
-      w.boolean(data_.erase(key) > 0);
+      const bool existed = data_.erase(key) > 0;
+      if (existed) mark_erased(key);
+      w.boolean(existed);
       result.output = std::move(w).take();
       if (on_apply_) on_apply_(operation, key);
       return result;
@@ -85,6 +90,69 @@ void KvStoreServant::restore(std::span<const std::uint8_t> snapshot) {
   for (std::uint32_t i = 0; i < n; ++i) {
     std::string key = r.str();
     data_[std::move(key)] = r.str();
+  }
+  // The per-key stamps described the overwritten state; deltas can only be
+  // answered for cuts taken from here on. Epochs stay monotone across
+  // restores so stale `since` values are rejected, never misanswered.
+  write_epoch_.clear();
+  tombstone_.clear();
+  delta_floor_ = epoch_;
+}
+
+void KvStoreServant::mark_written(const std::string& key) {
+  write_epoch_[key] = epoch_;
+  tombstone_.erase(key);
+}
+
+void KvStoreServant::mark_erased(const std::string& key) {
+  write_epoch_.erase(key);
+  tombstone_[key] = epoch_;
+}
+
+std::uint64_t KvStoreServant::cut_epoch() { return epoch_++; }
+
+std::optional<Bytes> KvStoreServant::snapshot_delta(std::uint64_t since_epoch) const {
+  // Mutations in the cut labelled `e` carry stamp <= e; the delta since `e`
+  // is everything stamped after it. Unanswerable once tracking was reset.
+  if (since_epoch < delta_floor_ || since_epoch >= epoch_) return std::nullopt;
+  ByteWriter w;
+  std::uint32_t upserts = 0;
+  for (const auto& [key, stamp] : write_epoch_) {
+    if (stamp > since_epoch) ++upserts;
+  }
+  w.u32(upserts);
+  for (const auto& [key, stamp] : write_epoch_) {
+    if (stamp <= since_epoch) continue;
+    const auto it = data_.find(key);
+    VDEP_ASSERT_MSG(it != data_.end(), "dirty key missing from store");
+    w.str(key);
+    w.str(it->second);
+  }
+  std::uint32_t erased = 0;
+  for (const auto& [key, stamp] : tombstone_) {
+    if (stamp > since_epoch) ++erased;
+  }
+  w.u32(erased);
+  for (const auto& [key, stamp] : tombstone_) {
+    if (stamp > since_epoch) w.str(key);
+  }
+  return std::move(w).take();
+}
+
+void KvStoreServant::apply_delta(std::span<const std::uint8_t> delta) {
+  ByteReader r(delta);
+  const auto upserts = r.u32();
+  for (std::uint32_t i = 0; i < upserts; ++i) {
+    std::string key = r.str();
+    std::string value = r.str();
+    data_[key] = std::move(value);
+    mark_written(key);
+  }
+  const auto erased = r.u32();
+  for (std::uint32_t i = 0; i < erased; ++i) {
+    const std::string key = r.str();
+    data_.erase(key);
+    mark_erased(key);
   }
 }
 

@@ -44,6 +44,17 @@ class KvStoreServant final : public replication::Checkpointable {
   [[nodiscard]] std::size_t state_size() const override;
   [[nodiscard]] std::uint64_t state_digest() const override;
 
+  // Incremental checkpointing: every mutation stamps its key with the open
+  // epoch; erasures leave tombstones. A delta since epoch `e` carries the
+  // keys written after the cut labelled `e` plus the tombstones newer than
+  // it — O(dirty set), not O(state). restore() resets the tracking, after
+  // which only cuts taken from the restored state are answerable.
+  [[nodiscard]] bool supports_delta() const override { return true; }
+  std::uint64_t cut_epoch() override;
+  [[nodiscard]] std::optional<Bytes> snapshot_delta(
+      std::uint64_t since_epoch) const override;
+  void apply_delta(std::span<const std::uint8_t> delta) override;
+
   [[nodiscard]] std::size_t entries() const { return data_.size(); }
   // Direct read of the stored value (oracles inspect replica state without
   // going through the request path).
@@ -68,9 +79,21 @@ class KvStoreServant final : public replication::Checkpointable {
   static bool decode_flag(const Bytes& body);  // put/erase result
 
  private:
+  void mark_written(const std::string& key);
+  void mark_erased(const std::string& key);
+
   Config config_;
   std::map<std::string, std::string> data_;
   std::function<void(const std::string&, const std::string&)> on_apply_;
+
+  // Dirty-key tracking. `epoch_` is the open (still-mutating) epoch;
+  // cut_epoch() closes it. `delta_floor_` is the oldest cut a delta can
+  // still be computed against (bumped to the open epoch on restore, which
+  // discards the per-key stamps).
+  std::uint64_t epoch_ = 1;
+  std::uint64_t delta_floor_ = 0;
+  std::map<std::string, std::uint64_t> write_epoch_;  // key -> last write epoch
+  std::map<std::string, std::uint64_t> tombstone_;    // erased key -> erase epoch
 };
 
 }  // namespace vdep::app

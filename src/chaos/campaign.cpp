@@ -84,6 +84,7 @@ TrialResult run_trial(const TrialConfig& config, const net::FaultPlan& plan) {
   sc.style = config.style;
   sc.checkpoint_interval = config.checkpoint_interval;
   sc.checkpoint_every_requests = config.checkpoint_every_requests;
+  sc.checkpoint_anchor_interval = config.checkpoint_anchor_interval;
   sc.auto_recover = true;
   sc.skip_reply_dedup = config.inject_dedup_bug;
   sc.tracing = config.record_spans;
@@ -222,6 +223,11 @@ TrialConfig campaign_trial_config(const CampaignConfig& config, int index) {
       config.checkpoint_frequencies[(i / (config.styles.size() *
                                           config.replica_counts.size())) %
                                     config.checkpoint_frequencies.size()];
+  trial.checkpoint_anchor_interval =
+      config.anchor_intervals[(i / (config.styles.size() *
+                                    config.replica_counts.size() *
+                                    config.checkpoint_frequencies.size())) %
+                              config.anchor_intervals.size()];
   return trial;
 }
 

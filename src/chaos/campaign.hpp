@@ -28,6 +28,9 @@ struct TrialConfig {
   int replicas = 3;
   SimTime checkpoint_interval = msec(50);
   std::uint32_t checkpoint_every_requests = 25;
+  // Incremental checkpointing: every K-th checkpoint is a full anchor (1 =
+  // all full, the pre-delta protocol).
+  std::uint32_t checkpoint_anchor_interval = 1;
 
   int ops_per_client = 100;
   SimTime op_gap = msec(12);
@@ -91,6 +94,9 @@ struct CampaignConfig {
   };
   std::vector<int> replica_counts = {2, 3};
   std::vector<std::uint32_t> checkpoint_frequencies = {10, 25};
+  // Outermost sweep dimension (so adding it kept the configs at existing
+  // sweep positions unchanged): full-anchor cadence for delta checkpoints.
+  std::vector<std::uint32_t> anchor_intervals = {1, 4};
   TrialConfig base;  // everything not swept
 };
 

@@ -170,6 +170,7 @@ void Scenario::start_replica(int index, bool join_existing) {
   replication::ReplicatorParams params;
   params.checkpoint_interval = config_.checkpoint_interval;
   params.checkpoint_every_requests = config_.checkpoint_every_requests;
+  params.checkpoint_anchor_interval = config_.checkpoint_anchor_interval;
   params.skip_reply_dedup = config_.skip_reply_dedup;
   bundle.replicator = std::make_unique<replication::Replicator>(
       *network_, daemon_on(bundle.process.host()), bundle.process, bundle.orb,
@@ -358,6 +359,19 @@ void Scenario::set_checkpoint_interval(SimTime interval) {
 }
 
 SimTime Scenario::checkpoint_interval() const { return config_.checkpoint_interval; }
+
+void Scenario::set_checkpoint_anchor_interval(std::uint32_t interval) {
+  config_.checkpoint_anchor_interval = interval;
+  for (auto& r : replicas_) {
+    if (r->live() && r->replicator) {
+      r->replicator->set_checkpoint_anchor_interval(interval);
+    }
+  }
+}
+
+std::uint32_t Scenario::checkpoint_anchor_interval() const {
+  return config_.checkpoint_anchor_interval;
+}
 
 void Scenario::drain(SimTime extra) { kernel_->run_until(kernel_->now() + extra); }
 

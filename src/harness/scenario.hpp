@@ -49,6 +49,9 @@ struct ScenarioConfig {
   // Low-level knob defaults.
   SimTime checkpoint_interval = calib::kDefaultCheckpointInterval;
   std::uint32_t checkpoint_every_requests = 25;
+  // Incremental checkpointing: every K-th checkpoint is a full anchor, the
+  // rest are dirty-set deltas. 1 = every checkpoint full (seed protocol).
+  std::uint32_t checkpoint_anchor_interval = 1;
   gcs::DaemonParams daemon;
 
   // Monitoring / adaptation (Fig. 6).
@@ -164,6 +167,8 @@ class Scenario final : public knobs::ReplicaGroupController {
   [[nodiscard]] int replica_count() const override;
   void set_checkpoint_interval(SimTime interval) override;
   [[nodiscard]] SimTime checkpoint_interval() const override;
+  void set_checkpoint_anchor_interval(std::uint32_t interval) override;
+  [[nodiscard]] std::uint32_t checkpoint_anchor_interval() const override;
 
   // Lets in-flight work settle after a run stopped at the last client reply
   // (slower replicas may still have executions queued). Call before

@@ -20,6 +20,25 @@ SimTime failover_time(replication::ReplicationStyle style,
   return model.cold_failover;
 }
 
+SimTime failover_time(replication::ReplicationStyle style,
+                      const AvailabilityModel& model,
+                      const CheckpointProfile& profile) {
+  using replication::ReplicationStyle;
+  const double ratio = std::clamp(profile.average_ratio(), 0.0, 1.0);
+  const double warm = to_sec(model.warm_failover);
+  switch (style) {
+    case ReplicationStyle::kWarmPassive:
+      return sec_f(warm * ratio);
+    case ReplicationStyle::kColdPassive:
+      // Launch/install dominates and is checkpoint-size-independent here (the
+      // snapshot still transfers in full on promotion); only the replay tail
+      // — bounded by backup staleness, the warm component — shrinks.
+      return sec_f(std::max(to_sec(model.cold_failover) - warm, 0.0) + warm * ratio);
+    default:
+      return failover_time(style, model);
+  }
+}
+
 double predicted_availability(const Configuration& config,
                               const AvailabilityModel& model) {
   VDEP_ASSERT(config.replicas >= 1);
@@ -41,6 +60,20 @@ double predicted_availability(const Configuration& config,
   return std::clamp(1.0 - unavailability, 0.0, 1.0);
 }
 
+double predicted_availability(const Configuration& config,
+                              const AvailabilityModel& model,
+                              const CheckpointProfile& profile) {
+  VDEP_ASSERT(config.replicas >= 1);
+  const double mttf = to_sec(model.mttf);
+  const double mttr = to_sec(model.mttr);
+  const double rho = mttr / (mttf + mttr);
+  double unavailability = std::pow(rho, config.replicas);
+  if (config.replicas >= 2) {
+    unavailability += to_sec(failover_time(config.style, model, profile)) / mttf;
+  }
+  return std::clamp(1.0 - unavailability, 0.0, 1.0);
+}
+
 std::optional<AvailabilityChoice> choose_for_availability(
     double target, const AvailabilityModel& model, int max_replicas,
     std::vector<replication::ReplicationStyle> allowed) {
@@ -55,6 +88,24 @@ std::optional<AvailabilityChoice> choose_for_availability(
     for (ReplicationStyle style : allowed) {
       const Configuration config{style, k};
       const double a = predicted_availability(config, model);
+      if (a >= target) return AvailabilityChoice{config, a};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<AvailabilityChoice> choose_for_availability(
+    double target, const AvailabilityModel& model, const CheckpointProfile& profile,
+    int max_replicas, std::vector<replication::ReplicationStyle> allowed) {
+  using replication::ReplicationStyle;
+  if (allowed.empty()) {
+    allowed = {ReplicationStyle::kColdPassive, ReplicationStyle::kWarmPassive,
+               ReplicationStyle::kSemiActive, ReplicationStyle::kActive};
+  }
+  for (int k = 1; k <= max_replicas; ++k) {
+    for (ReplicationStyle style : allowed) {
+      const Configuration config{style, k};
+      const double a = predicted_availability(config, model, profile);
       if (a >= target) return AvailabilityChoice{config, a};
     }
   }

@@ -41,6 +41,20 @@ struct AvailabilityModel {
 [[nodiscard]] SimTime failover_time(replication::ReplicationStyle style,
                                     const AvailabilityModel& model);
 
+// Incremental-checkpointing-aware variants. Cheaper checkpoints let a passive
+// primary checkpoint more often at the same blackout budget, which shrinks
+// backup staleness and therefore the replay component of failover in
+// proportion to the profile's average byte ratio:
+//   warm' = warm * ratio
+//   cold' = (cold - warm) + warm * ratio   (the launch part does not shrink)
+// Active/semi-active failovers involve no checkpoints and are unchanged.
+[[nodiscard]] SimTime failover_time(replication::ReplicationStyle style,
+                                    const AvailabilityModel& model,
+                                    const CheckpointProfile& profile);
+[[nodiscard]] double predicted_availability(const Configuration& config,
+                                            const AvailabilityModel& model,
+                                            const CheckpointProfile& profile);
+
 struct AvailabilityChoice {
   Configuration config;
   double availability = 0.0;
@@ -52,5 +66,12 @@ struct AvailabilityChoice {
 [[nodiscard]] std::optional<AvailabilityChoice> choose_for_availability(
     double target, const AvailabilityModel& model, int max_replicas = 5,
     std::vector<replication::ReplicationStyle> allowed = {});
+
+// Profile-aware choice: evaluates the passive styles with the rescaled
+// failover outages above. A good delta profile can make warm passive meet a
+// target that previously forced an active configuration.
+[[nodiscard]] std::optional<AvailabilityChoice> choose_for_availability(
+    double target, const AvailabilityModel& model, const CheckpointProfile& profile,
+    int max_replicas = 5, std::vector<replication::ReplicationStyle> allowed = {});
 
 }  // namespace vdep::knobs

@@ -54,4 +54,20 @@ std::unique_ptr<Knob> make_checkpoint_interval_knob(ReplicaGroupController& cont
       });
 }
 
+std::unique_ptr<Knob> make_checkpoint_anchor_interval_knob(
+    ReplicaGroupController& controller) {
+  return std::make_unique<FunctionKnob>(
+      "CheckpointAnchorInterval", KnobLevel::kLow,
+      "Incremental checkpointing cadence: every K-th checkpoint is a full "
+      "anchor, the rest dirty-set deltas (1 = every checkpoint full)",
+      [&controller] { return std::to_string(controller.checkpoint_anchor_interval()); },
+      [&controller](const std::string& v) {
+        const long long k = std::stoll(v);
+        if (k < 1 || k > 0xffffffffLL) {
+          throw std::invalid_argument("anchor interval out of range: " + v);
+        }
+        controller.set_checkpoint_anchor_interval(static_cast<std::uint32_t>(k));
+      });
+}
+
 }  // namespace vdep::knobs

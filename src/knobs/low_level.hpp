@@ -28,6 +28,12 @@ class ReplicaGroupController {
 
   virtual void set_checkpoint_interval(SimTime interval) = 0;
   [[nodiscard]] virtual SimTime checkpoint_interval() const = 0;
+
+  // "CheckpointAnchorInterval" — incremental checkpointing cadence: every
+  // K-th checkpoint is a full anchor, the rest are dirty-set deltas. Default
+  // implementations (1 = all full) keep pre-delta controllers working.
+  virtual void set_checkpoint_anchor_interval(std::uint32_t /*interval*/) {}
+  [[nodiscard]] virtual std::uint32_t checkpoint_anchor_interval() const { return 1; }
 };
 
 // "ReplicationStyle" — switches at runtime through the Fig. 5 protocol.
@@ -41,6 +47,11 @@ class ReplicaGroupController {
 
 // "CheckpointInterval" — the checkpointing-frequency knob, microseconds.
 [[nodiscard]] std::unique_ptr<Knob> make_checkpoint_interval_knob(
+    ReplicaGroupController& controller);
+
+// "CheckpointAnchorInterval" — full-anchor cadence for incremental
+// checkpointing (integer K >= 1; 1 disables deltas).
+[[nodiscard]] std::unique_ptr<Knob> make_checkpoint_anchor_interval_knob(
     ReplicaGroupController& controller);
 
 // Parses the strings the style knob accepts ("active", "warm_passive", ...).

@@ -66,6 +66,24 @@ ScalabilityPolicy synthesize_scalability_policy(
   return policy;
 }
 
+DesignSpaceMap rescale_checkpoint_bandwidth(const DesignSpaceMap& map,
+                                            const CheckpointProfile& profile,
+                                            double checkpoint_fraction) {
+  VDEP_ASSERT(checkpoint_fraction >= 0.0 && checkpoint_fraction <= 1.0);
+  const double ratio = std::clamp(profile.average_ratio(), 0.0, 1.0);
+  DesignSpaceMap out;
+  for (DesignPoint p : map.points()) {
+    using replication::ReplicationStyle;
+    const bool passive = p.config.style == ReplicationStyle::kWarmPassive ||
+                         p.config.style == ReplicationStyle::kColdPassive;
+    if (passive) {
+      p.bandwidth_mbps *= (1.0 - checkpoint_fraction) + checkpoint_fraction * ratio;
+    }
+    out.add(p);
+  }
+  return out;
+}
+
 ScalabilityKnob::ScalabilityKnob(ScalabilityPolicy policy, Actuators actuators)
     : policy_(std::move(policy)), actuators_(std::move(actuators)) {
   VDEP_ASSERT(actuators_.set_style && actuators_.set_replicas);

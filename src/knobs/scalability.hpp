@@ -50,6 +50,16 @@ struct ScalabilityPolicy {
 [[nodiscard]] ScalabilityPolicy synthesize_scalability_policy(
     const DesignSpaceMap& map, const ScalabilityRequirements& requirements);
 
+// Rescales the checkpoint-traffic component of the profiled bandwidth for
+// the passive styles under an incremental-checkpoint profile:
+// `checkpoint_fraction` of a passive configuration's measured bandwidth is
+// checkpoint multicast, and that part shrinks by the profile's average byte
+// ratio. Re-synthesizing the policy from the rescaled map lets passive
+// configurations pass bandwidth limits they failed with full snapshots.
+[[nodiscard]] DesignSpaceMap rescale_checkpoint_bandwidth(
+    const DesignSpaceMap& map, const CheckpointProfile& profile,
+    double checkpoint_fraction = 0.5);
+
 // The runtime side of the knob: setting the client count applies the policy
 // entry via caller-supplied actuators (style switch, replica add/remove).
 class ScalabilityKnob {

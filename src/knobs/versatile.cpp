@@ -7,11 +7,15 @@ VersatileDependability::VersatileDependability(ReplicaGroupController& controlle
   registry_.register_knob(make_replication_style_knob(controller_));
   registry_.register_knob(make_num_replicas_knob(controller_));
   registry_.register_knob(make_checkpoint_interval_knob(controller_));
+  registry_.register_knob(make_checkpoint_anchor_interval_knob(controller_));
 }
 
 const ScalabilityPolicy& VersatileDependability::install_scalability_knob(
     const DesignSpaceMap& map, const ScalabilityRequirements& requirements) {
-  scalability_policy_ = synthesize_scalability_policy(map, requirements);
+  scalability_policy_ = synthesize_scalability_policy(
+      checkpoint_profile_ ? rescale_checkpoint_bandwidth(map, *checkpoint_profile_)
+                          : map,
+      requirements);
   if (registry_.find("Scalability") == nullptr) {
     registry_.register_knob(std::make_unique<FunctionKnob>(
         "Scalability", KnobLevel::kHigh,
@@ -53,10 +57,20 @@ void VersatileDependability::install_availability_knob(AvailabilityModel model) 
   }
 }
 
+void VersatileDependability::set_checkpoint_profile(CheckpointProfile profile) {
+  checkpoint_profile_ = profile;
+  // Keep the actuated cadence consistent with the profile the policies use.
+  controller_.set_checkpoint_anchor_interval(
+      profile.anchor_interval >= 1 ? profile.anchor_interval : 1);
+}
+
 std::optional<AvailabilityChoice> VersatileDependability::tune_for_availability(
     double target) {
   if (!availability_model_) return std::nullopt;
-  auto choice = choose_for_availability(target, *availability_model_);
+  auto choice = checkpoint_profile_
+                    ? choose_for_availability(target, *availability_model_,
+                                              *checkpoint_profile_)
+                    : choose_for_availability(target, *availability_model_);
   if (!choice) return std::nullopt;
   controller_.set_replica_count(choice->config.replicas);
   controller_.set_style(choice->config.style);

@@ -39,6 +39,15 @@ class VersatileDependability {
   void install_availability_knob(AvailabilityModel model);
   std::optional<AvailabilityChoice> tune_for_availability(double target);
 
+  // Installs a measured incremental-checkpoint profile (delta vs. full
+  // bytes). Once set, tune_for_availability evaluates passive styles with
+  // the rescaled failover model, and scalability-policy synthesis sees
+  // checkpoint bandwidth shrunk by the profile's average byte ratio.
+  void set_checkpoint_profile(CheckpointProfile profile);
+  [[nodiscard]] const std::optional<CheckpointProfile>& checkpoint_profile() const {
+    return checkpoint_profile_;
+  }
+
   // --- contracts -----------------------------------------------------------------
   void set_contract(adaptive::Contract contract,
                     std::vector<adaptive::Contract> degraded_alternatives = {});
@@ -56,6 +65,7 @@ class VersatileDependability {
   std::optional<ScalabilityPolicy> scalability_policy_;
   std::optional<int> applied_clients_;
   std::optional<AvailabilityModel> availability_model_;
+  std::optional<CheckpointProfile> checkpoint_profile_;
   std::unique_ptr<adaptive::ContractMonitor> contract_monitor_;
 };
 

@@ -7,6 +7,7 @@
 // replaying logged requests.
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "orb/poa.hpp"
@@ -29,6 +30,25 @@ class Checkpointable : public orb::Servant {
   // Deterministic digest of the current state, used by consistency checks in
   // tests and by voting clients comparing replica outputs.
   [[nodiscard]] virtual std::uint64_t state_digest() const = 0;
+
+  // --- incremental checkpointing (optional) ---------------------------------
+  // Apps that track their write set can hand the replicator O(dirty-state)
+  // deltas instead of full snapshots. Epochs are app-local: cut_epoch()
+  // closes the current mutation-tracking window and returns its id; a later
+  // snapshot_delta(since) must return exactly the mutations recorded after
+  // the cut labelled `since` (or nullopt when the app can no longer answer —
+  // e.g. tracking was reset by restore() — in which case the replicator
+  // falls back to a full snapshot). apply_delta() replays such a delta onto
+  // the state the delta was cut against; the caller guarantees base
+  // continuity via the checkpoint chain (see replicator.cpp).
+  [[nodiscard]] virtual bool supports_delta() const { return false; }
+  virtual std::uint64_t cut_epoch() { return 0; }
+  [[nodiscard]] virtual std::optional<Bytes> snapshot_delta(
+      std::uint64_t /*since_epoch*/) const {
+    return std::nullopt;
+  }
+  // `delta` may alias a frame still owned by the caller; copy what you keep.
+  virtual void apply_delta(std::span<const std::uint8_t> /*delta*/) {}
 };
 
 }  // namespace vdep::replication

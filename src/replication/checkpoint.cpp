@@ -1,5 +1,7 @@
 #include "replication/checkpoint.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace vdep::replication {
@@ -7,6 +9,17 @@ namespace vdep::replication {
 SimTime snapshot_cpu_time(std::size_t bytes, double bytes_per_sec) {
   VDEP_ASSERT(bytes_per_sec > 0);
   return sec_f(static_cast<double>(bytes) / bytes_per_sec);
+}
+
+SimTime checkpoint_cpu_time(std::size_t full_state_size,
+                            std::optional<std::size_t> delta_bytes,
+                            double bytes_per_sec) {
+  // A delta never costs more than the full snapshot it replaces (dirty sets
+  // are subsets of the state; a pathological app that encodes deltas larger
+  // than its state still only pays the full-serialization price).
+  const std::size_t bytes =
+      delta_bytes ? std::min(*delta_bytes, full_state_size) : full_state_size;
+  return snapshot_cpu_time(bytes, bytes_per_sec);
 }
 
 void QuiescenceTracker::end_execution() {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "util/time.hpp"
 
@@ -16,6 +17,13 @@ namespace vdep::replication {
 
 // CPU time to serialize (or deserialize) `bytes` of state at `rate` bytes/s.
 [[nodiscard]] SimTime snapshot_cpu_time(std::size_t bytes, double bytes_per_sec);
+
+// Delta-aware flavour: a full checkpoint (de)serializes the whole state; a
+// delta checkpoint only walks the dirty set it carries, so the quiescence
+// blackout shrinks proportionally. `delta_bytes` empty = full checkpoint.
+[[nodiscard]] SimTime checkpoint_cpu_time(std::size_t full_state_size,
+                                          std::optional<std::size_t> delta_bytes,
+                                          double bytes_per_sec);
 
 // Tracks in-flight request executions so checkpoints (and style switches)
 // can wait for quiescence: the callback fires as soon as the count returns

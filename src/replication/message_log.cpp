@@ -27,8 +27,13 @@ void MessageLog::truncate_applied(const std::map<ProcessId, std::uint64_t>& appl
 std::vector<LoggedRequest> MessageLog::take_all() {
   std::vector<LoggedRequest> out;
   out.reserve(entries_.size());
+  // Move each entry out (the shared giop payload changes hands without a
+  // refcount round-trip or buffer copy); the hollow map skeleton is then
+  // discarded wholesale. bytes_ goes to zero with it — the moved-from
+  // payloads no longer contribute.
   for (auto& [index, entry] : entries_) out.push_back(std::move(entry));
-  clear();
+  entries_.clear();
+  bytes_ = 0;
   return out;
 }
 

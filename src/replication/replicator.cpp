@@ -74,6 +74,11 @@ void Replicator::set_checkpoint_interval(SimTime interval) {
   arm_engine_timer();
 }
 
+void Replicator::set_checkpoint_anchor_interval(std::uint32_t interval) {
+  VDEP_ASSERT_MSG(interval >= 1, "anchor interval must be >= 1");
+  params_.checkpoint_anchor_interval = interval;
+}
+
 void Replicator::arm_engine_timer() {
   engine_timer_.cancel();
   engine_timer_ = process_.post(params_.checkpoint_interval, [this] {
@@ -103,8 +108,21 @@ void Replicator::on_group_message(const gcs::GroupMessage& msg) {
             handle_switch(SwitchMsg::decode(env.payload));
             return;
           case RepEnvelope::Type::kStateRequest:
-            // The current head of the group donates state via a checkpoint.
-            if (!uninitialized_ && my_rank() == 0) take_checkpoint();
+            // The current head of the group donates state via a checkpoint
+            // (or an anchor + delta bundle when a chain is retained).
+            if (!uninitialized_ && my_rank() == 0) donate_state();
+            return;
+          case RepEnvelope::Type::kCheckpointDelta:
+            handle_checkpoint(
+                CheckpointMsg::decode(env.payload, CheckpointMsg::Kind::kDelta));
+            return;
+          case RepEnvelope::Type::kStateTransfer:
+            handle_state_transfer(StateTransferMsg::decode(env.payload));
+            return;
+          case RepEnvelope::Type::kAnchorRequest:
+            // A backup hit a chain gap: the head pins a full anchor. The
+            // latch survives an in-flight round (served when it completes).
+            if (!uninitialized_ && my_rank() == 0) take_checkpoint(/*force_full=*/true);
             return;
         }
       }));
@@ -160,19 +178,31 @@ void Replicator::handle_checkpoint(const CheckpointMsg& msg) {
     checkpoint_span_.end();
     if (switch_awaiting_checkpoint_) {
       complete_switch();
+      finish_checkpoint_round();
       return;
     }
     holding_ = false;
     drain_holdq();
+    finish_checkpoint_round();
     return;
   }
 
   if (uninitialized_) {
+    // A joiner cannot apply a delta (it has no base state); it keeps waiting
+    // for the donation, which always carries a full anchor.
+    if (msg.kind == CheckpointMsg::Kind::kDelta) return;
     // The state transfer we asked for. When a style switch raced with our
     // catch-up, this same checkpoint is also the switch's final checkpoint —
     // complete it, or we would hold requests forever waiting for a second
     // one that never comes.
     install_checkpoint(msg);
+    // A dormant cold joiner also retains the snapshot, so later deltas have
+    // a stored chain tip to extend instead of forcing an anchor re-request.
+    if (engine_ != nullptr && engine_->style() == ReplicationStyle::kColdPassive &&
+        !engine_->responder()) {
+      stored_checkpoint_ = msg;
+      stored_deltas_.clear();
+    }
     uninitialized_ = false;
     replay_log(!params_.quiet_joiner_replay);
     log_info(process_.now(), "replicator",
@@ -181,15 +211,78 @@ void Replicator::handle_checkpoint(const CheckpointMsg& msg) {
     return;
   }
 
-  if (switch_awaiting_checkpoint_) {
+  if (switch_awaiting_checkpoint_ && msg.kind == CheckpointMsg::Kind::kFull) {
     // Fig. 5, case warm-passive -> active: the final checkpoint before the
     // switch. Backups synchronize their state with the primary, then switch.
+    // (Switch finals are always full anchors; a delta delivered while
+    // awaiting is an earlier in-flight cut and takes the normal engine path
+    // below — it must not complete the switch.)
     install_checkpoint(msg);
     complete_switch();
     return;
   }
 
   engine_->on_checkpoint(msg);
+}
+
+void Replicator::handle_state_transfer(const StateTransferMsg& msg) {
+  CheckpointMsg anchor = CheckpointMsg::decode(msg.anchor, CheckpointMsg::Kind::kFull);
+  std::vector<CheckpointMsg> deltas;
+  deltas.reserve(msg.deltas.size());
+  for (const auto& d : msg.deltas) {
+    deltas.push_back(CheckpointMsg::decode(d, CheckpointMsg::Kind::kDelta));
+  }
+  const std::uint64_t tip =
+      deltas.empty() ? anchor.checkpoint_id : deltas.back().delta_epoch;
+
+  if (outstanding_checkpoint_ && *outstanding_checkpoint_ == tip) {
+    // Our own donation bundle came back stable: the SAFE round is over.
+    outstanding_checkpoint_.reset();
+    checkpoint_span_.note("checkpoint_id", std::to_string(tip));
+    checkpoint_span_.end();
+    if (switch_awaiting_checkpoint_) {
+      complete_switch();
+      finish_checkpoint_round();
+      return;
+    }
+    holding_ = false;
+    drain_holdq();
+    finish_checkpoint_round();
+    return;
+  }
+
+  if (uninitialized_) {
+    // The donation we asked for: install the whole chain — anchor first,
+    // then the delta suffix in order. The tip covers every request ordered
+    // before the donor's cut; the log replay below covers the rest.
+    install_checkpoint(anchor);
+    for (const auto& d : deltas) install_checkpoint(d);
+    if (engine_ != nullptr && engine_->style() == ReplicationStyle::kColdPassive &&
+        !engine_->responder()) {
+      stored_checkpoint_ = std::move(anchor);
+      stored_deltas_ = std::move(deltas);
+    }
+    uninitialized_ = false;
+    replay_log(!params_.quiet_joiner_replay);
+    log_info(process_.now(), "replicator",
+             process_.name() + " state transfer complete (chain of " +
+                 std::to_string(1 + msg.deltas.size()) + ")");
+    if (switch_awaiting_checkpoint_) complete_switch();
+    return;
+  }
+
+  if (switch_awaiting_checkpoint_) {
+    install_checkpoint(anchor);
+    for (const auto& d : deltas) install_checkpoint(d);
+    complete_switch();
+    return;
+  }
+
+  // Initialized bystanders treat each chain part like an ordinary checkpoint
+  // delivery: warm backups install (rolling back to the anchor and forward to
+  // the tip — same final state), cold backups retain, active styles ignore.
+  engine_->on_checkpoint(anchor);
+  for (const auto& d : deltas) engine_->on_checkpoint(d);
 }
 
 void Replicator::handle_switch(const SwitchMsg& msg) {
@@ -216,7 +309,9 @@ void Replicator::handle_switch(const SwitchMsg& msg) {
     switch_awaiting_checkpoint_ = true;
     if (engine_->responder()) {
       obs::Tracer::Scope scope(process_.kernel().tracer(), switch_span_.context());
-      take_checkpoint();
+      // Always a full anchor: cold backups about to take executing roles may
+      // hold arbitrarily stale retained state a delta could not extend.
+      take_checkpoint(/*force_full=*/true);
     }
   } else {
     // Step II, case 2 (active -> passive, or within-family change): the
@@ -262,6 +357,9 @@ void Replicator::drain_holdq() {
 void Replicator::on_view(const gcs::View& view) {
   const std::optional<gcs::View> old = view_;
   view_ = view;
+  // The checkpoint taker we asked for an anchor may be among the departed;
+  // allow a fresh request the next time a chain gap shows up.
+  anchor_request_outstanding_ = false;
 
   const bool joined_now =
       view.contains(process_.id()) && (!old || !old->contains(process_.id()));
@@ -417,38 +515,151 @@ Bytes Replicator::augment_reply(const Payload& reply_giop) const {
 
 // --- checkpointing --------------------------------------------------------------------
 
-void Replicator::take_checkpoint() {
-  if (outstanding_checkpoint_.has_value()) return;  // one in flight already
+void Replicator::take_checkpoint(bool force_full) {
+  if (force_full) anchor_requested_ = true;  // latch survives an open round
+  // One round at a time: either a cut is already multicast (outstanding) or
+  // a quiescence waiter is about to cut (pending). The force_full latch
+  // still applies to whichever cut fires next.
+  if (outstanding_checkpoint_.has_value() || cut_pending_) return;
+  cut_pending_ = true;
   holding_ = true;
   // Open across quiescence wait + serialization + the SAFE round; ends when
   // our own checkpoint message comes back stable (handle_checkpoint). Parent
-  // is whatever caused the round: timer, switch, or a joiner's state request.
+  // is whatever caused the round: timer, switch, or a backup's anchor request.
   if (!checkpoint_span_.active()) {
     checkpoint_span_ = process_.kernel().tracer().start_child(
         "rep.checkpoint", "replication", process_.name());
   }
-  quiescence_.when_quiescent(process_.guarded([this] {
-    ++checkpoint_counter_;
-    executions_since_checkpoint_ = 0;
-    const std::uint64_t id = (process_.id().value() << 20) | checkpoint_counter_;
-    CheckpointMsg msg;
-    msg.checkpoint_id = id;
-    msg.applied = applied_rid_;
-    msg.app_state = app_.snapshot();
-    msg.reply_cache = reply_cache_.serialize_recent(params_.checkpoint_reply_entries);
-    outstanding_checkpoint_ = id;
-    if (on_checkpoint_) on_checkpoint_(id);
-    checkpoint_span_.note("state_bytes", std::to_string(msg.app_state.size()));
+  quiescence_.when_quiescent(
+      process_.guarded([this] { cut_and_multicast(/*donation=*/false); }));
+}
 
-    // Serialization occupies the CPU; the multicast submission queues behind
-    // it on the same host CPU, so the cost delays the checkpoint naturally.
-    network_.cpu(process_.host())
-        .execute(snapshot_cpu_time(app_.state_size(), params_.snapshot_bytes_per_sec),
-                 [] {});
-    obs::Tracer::Scope scope(process_.kernel().tracer(), checkpoint_span_.context());
-    RepEnvelope env{RepEnvelope::Type::kCheckpoint, msg.encode()};
+void Replicator::donate_state() {
+  if (outstanding_checkpoint_.has_value() || cut_pending_) {
+    pending_donation_ = true;  // served when the open round completes
+    return;
+  }
+  cut_pending_ = true;
+  holding_ = true;
+  if (!checkpoint_span_.active()) {
+    checkpoint_span_ = process_.kernel().tracer().start_child(
+        "rep.checkpoint", "replication", process_.name());
+  }
+  quiescence_.when_quiescent(
+      process_.guarded([this] { cut_and_multicast(/*donation=*/true); }));
+}
+
+bool Replicator::can_cut_delta() const {
+  return !anchor_requested_ && params_.checkpoint_anchor_interval > 1 &&
+         app_.supports_delta() && last_cut_id_.has_value() &&
+         deltas_since_anchor_ + 1 < params_.checkpoint_anchor_interval;
+}
+
+void Replicator::cut_and_multicast(bool donation) {
+  cut_pending_ = false;
+  ++checkpoint_counter_;
+  executions_since_checkpoint_ = 0;
+  const std::uint64_t id = (process_.id().value() << 20) | checkpoint_counter_;
+  CheckpointMsg msg;
+  msg.checkpoint_id = id;
+  msg.applied = applied_rid_;
+  msg.reply_cache = reply_cache_.serialize_recent(params_.checkpoint_reply_entries);
+
+  // Cut a dirty-set delta when the cadence knob allows it and the app can
+  // still answer for the previous cut (a restore in between makes it full).
+  std::optional<std::size_t> delta_bytes;
+  if (can_cut_delta()) {
+    if (auto delta = app_.snapshot_delta(last_cut_app_epoch_)) {
+      msg.kind = CheckpointMsg::Kind::kDelta;
+      msg.base_epoch = *last_cut_id_;
+      msg.delta_epoch = id;
+      msg.app_state = std::move(*delta);
+      delta_bytes = msg.app_state.size();
+    }
+  }
+  const bool is_delta = msg.kind == CheckpointMsg::Kind::kDelta;
+  if (!is_delta) msg.app_state = app_.snapshot();
+  last_cut_app_epoch_ = app_.cut_epoch();
+  last_cut_id_ = id;
+  installed_epoch_ = id;
+
+  // Encode once; the chain retains the same buffers a later state-transfer
+  // bundle ships (zero-copy fan-out).
+  Payload enc = msg.encode();
+  if (is_delta) {
+    chain_deltas_.push_back(enc);
+    ++deltas_since_anchor_;
+    ++checkpoints_delta_;
+  } else {
+    chain_anchor_ = enc;
+    chain_deltas_.clear();
+    deltas_since_anchor_ = 0;
+    anchor_requested_ = false;
+    ++checkpoints_full_;
+  }
+  checkpoint_bytes_ += enc.size();
+
+  outstanding_checkpoint_ = id;
+  if (on_checkpoint_) on_checkpoint_(id);
+  checkpoint_span_.note("kind", is_delta ? "delta" : "full");
+  checkpoint_span_.note("state_bytes", std::to_string(msg.app_state.size()));
+  if (is_delta) checkpoint_span_.note("base_epoch", std::to_string(msg.base_epoch));
+  if (donation) checkpoint_span_.note("donation", "1");
+
+  // Serialization occupies the CPU; the multicast submission queues behind
+  // it on the same host CPU, so the cost delays the checkpoint naturally. A
+  // delta only pays for the dirty set, not the whole state — the point of
+  // incremental checkpointing (the blackout shrinks with the dirty fraction).
+  network_.cpu(process_.host())
+      .execute(checkpoint_cpu_time(app_.state_size(), delta_bytes,
+                                   params_.snapshot_bytes_per_sec),
+               [] {});
+  obs::Tracer::Scope scope(process_.kernel().tracer(), checkpoint_span_.context());
+  if (donation && is_delta) {
+    // A joiner cannot use a bare delta: ship the retained anchor plus the
+    // whole delta suffix (ending in the cut just taken). Initialized members
+    // consume only the parts that continue their own chains.
+    StateTransferMsg bundle;
+    bundle.anchor = chain_anchor_;
+    bundle.deltas = chain_deltas_;
+    RepEnvelope env{RepEnvelope::Type::kStateTransfer, bundle.encode()};
     endpoint_->multicast(group_, gcs::ServiceType::kSafe, env.encode());
-  }));
+  } else {
+    RepEnvelope env{is_delta ? RepEnvelope::Type::kCheckpointDelta
+                             : RepEnvelope::Type::kCheckpoint,
+                    std::move(enc)};
+    endpoint_->multicast(group_, gcs::ServiceType::kSafe, env.encode());
+  }
+}
+
+void Replicator::finish_checkpoint_round() {
+  if (stopped_ || uninitialized_ || engine_ == nullptr) return;
+  if (pending_donation_) {
+    pending_donation_ = false;
+    if (my_rank() == 0) {
+      donate_state();
+      return;
+    }
+  }
+  if (anchor_requested_ && my_rank() == 0 && !switch_target_.has_value()) {
+    take_checkpoint(/*force_full=*/true);
+  }
+}
+
+void Replicator::request_anchor() {
+  if (anchor_request_outstanding_) return;  // one in flight is enough
+  anchor_request_outstanding_ = true;
+  ++anchor_requests_;
+  log_info(process_.now(), "replicator",
+           process_.name() + " checkpoint chain gap: requesting full anchor");
+  if (process_.kernel().tracer().enabled()) {
+    auto span = process_.kernel().tracer().start_child("rep.anchor_request",
+                                                       "replication", process_.name());
+    span.note("installed_epoch",
+              installed_epoch_ ? std::to_string(*installed_epoch_) : "none");
+  }
+  RepEnvelope env{RepEnvelope::Type::kAnchorRequest, {}};
+  endpoint_->multicast(group_, gcs::ServiceType::kAgreed, env.encode());
 }
 
 void Replicator::take_local_checkpoint() {
@@ -467,6 +678,7 @@ void Replicator::take_local_checkpoint() {
     msg.reply_cache = reply_cache_.serialize_recent(params_.checkpoint_reply_entries);
     if (on_checkpoint_) on_checkpoint_(msg.checkpoint_id);
     stored_checkpoint_ = std::move(msg);
+    stored_deltas_.clear();
     network_.cpu(process_.host())
         .execute(snapshot_cpu_time(app_.state_size(), params_.snapshot_bytes_per_sec),
                  process_.guarded([this] {
@@ -481,40 +693,108 @@ void Replicator::install_checkpoint(const CheckpointMsg& msg) {
   // requests the snapshot already contains; the delivery pipeline guarantees
   // installs only happen on quiescent (non-executing) replicas.
   VDEP_ASSERT_MSG(quiescence_.quiescent(), "checkpoint install while executing");
+  const bool is_delta = msg.kind == CheckpointMsg::Kind::kDelta;
+  if (is_delta) {
+    // Checkpoint ids are (pid << 20 | counter): monotone per incarnation but
+    // NOT numerically ordered across takers, so chain checks are equality
+    // only. A delta we already hold is a duplicate; one whose base is not
+    // exactly our position is a gap — skip it and ask for a full anchor
+    // (installing it anyway would corrupt the state undetectably).
+    if (installed_epoch_ && *installed_epoch_ == msg.delta_epoch) return;
+    if (!installed_epoch_ || *installed_epoch_ != msg.base_epoch) {
+      request_anchor();
+      return;
+    }
+  }
   if (process_.kernel().tracer().enabled()) {
     auto span = process_.kernel().tracer().start_child("rep.install", "replication",
                                                        process_.name());
+    span.note("kind", is_delta ? "delta" : "full");
     span.note("checkpoint_id", std::to_string(msg.checkpoint_id));
     span.note("state_bytes", std::to_string(msg.app_state.size()));
   }
-  app_.restore(msg.app_state);
+  if (is_delta) {
+    app_.apply_delta(msg.app_state);
+    ++installs_delta_;
+  } else {
+    app_.restore(msg.app_state);
+    ++installs_full_;
+    anchor_request_outstanding_ = false;  // the anchor we asked for arrived
+  }
   reply_cache_.restore(msg.reply_cache);
-  // The state now *is* the snapshot; the applied frontier must match it, and
-  // any checkpoint retained for a cold launch is superseded.
+  // The state now *is* the snapshot (or the snapshot plus this delta); the
+  // applied frontier must match it, and any checkpoint retained for a cold
+  // launch is superseded.
   applied_rid_ = msg.applied;
   log_.truncate_applied(msg.applied);
+  installed_epoch_ = msg.checkpoint_id;
   const std::size_t state_size = msg.app_state.size();
-  // `msg` may alias `*stored_checkpoint_` (cold launch installs the retained
-  // snapshot), so the supersede must come after the last read of `msg`.
+  // `msg` may alias `*stored_checkpoint_` / `stored_deltas_` (cold launch
+  // installs the retained chain), so the supersede must come after the last
+  // read of `msg`.
   stored_checkpoint_.reset();
-  // Deserialization cost: occupy the CPU (delays whatever comes next).
+  stored_deltas_.clear();
+  // Our own cut lineage (as a past or future checkpoint taker) is superseded
+  // by the installed state: the next cut we take must be a full anchor.
+  last_cut_id_.reset();
+  chain_anchor_ = Payload();
+  chain_deltas_.clear();
+  deltas_since_anchor_ = 0;
+  // Deserialization cost: occupy the CPU (delays whatever comes next). A
+  // delta costs its own (dirty-set) bytes, not the full state.
   network_.cpu(process_.host())
       .execute(snapshot_cpu_time(state_size, params_.snapshot_bytes_per_sec), [] {});
 }
 
 void Replicator::store_checkpoint(const CheckpointMsg& msg) {
-  stored_checkpoint_ = msg;
+  if (msg.kind == CheckpointMsg::Kind::kFull) {
+    stored_checkpoint_ = msg;
+    stored_deltas_.clear();
+    anchor_request_outstanding_ = false;
+  } else {
+    // Retain a delta only if it extends the stored chain tip; otherwise this
+    // replica's retained state can no longer reach the group's frontier and
+    // it must re-anchor. The log is deliberately NOT truncated on a rejected
+    // delta — truncating against a checkpoint we do not hold would lose the
+    // only copy of those requests.
+    if (!stored_checkpoint_.has_value()) {
+      request_anchor();
+      return;
+    }
+    const std::uint64_t tip = stored_deltas_.empty()
+                                  ? stored_checkpoint_->checkpoint_id
+                                  : stored_deltas_.back().delta_epoch;
+    if (msg.delta_epoch == tip) return;  // duplicate (e.g. re-sent in a bundle)
+    if (msg.base_epoch != tip) {
+      request_anchor();
+      return;
+    }
+    stored_deltas_.push_back(msg);
+  }
   log_.truncate_applied(msg.applied);
 }
 
+void Replicator::install_stored_chain() {
+  if (!stored_checkpoint_.has_value()) return;
+  // Move the chain out first: install_checkpoint() clears the stored members.
+  CheckpointMsg anchor = std::move(*stored_checkpoint_);
+  std::vector<CheckpointMsg> deltas = std::move(stored_deltas_);
+  stored_checkpoint_.reset();
+  stored_deltas_.clear();
+  install_checkpoint(anchor);
+  // Each retained delta was chain-checked on store, so the whole suffix
+  // installs without gaps.
+  for (const auto& d : deltas) install_checkpoint(d);
+}
+
 void Replicator::replay_log(bool send_replies) {
-  for (const auto& e : log_.take_all()) {
+  for (auto& e : log_.take_all()) {
     RequestRecord rec;
     rec.index = e.index;
     rec.rid = e.request_id;
     rec.client_daemon = e.client_daemon;
     rec.expiration = e.expiration;
-    rec.giop = e.giop;
+    rec.giop = std::move(e.giop);  // take_all() yields owned entries
     rec.trace = e.trace;
     execute_request(rec, send_replies);
   }
@@ -535,10 +815,10 @@ void Replicator::promote_warm() {
 
 void Replicator::ensure_cold_applied() {
   // A dormant cold backup retains checkpoints without applying them; before
-  // it can execute under any other role, the retained snapshot must land.
+  // it can execute under any other role, the retained chain must land.
   if (engine_ != nullptr && engine_->style() == ReplicationStyle::kColdPassive &&
       !engine_->responder() && stored_checkpoint_.has_value()) {
-    install_checkpoint(*stored_checkpoint_);
+    install_stored_chain();
   }
 }
 
@@ -553,7 +833,7 @@ void Replicator::promote_cold() {
       span.note("style", "cold_passive");
       span.note("replayed", std::to_string(log_.size()));
     }
-    if (stored_checkpoint_) install_checkpoint(*stored_checkpoint_);
+    install_stored_chain();
     cold_launch_pending_ = false;
     replay_log(true);
     log_info(process_.now(), "replicator", process_.name() + " cold backup live");

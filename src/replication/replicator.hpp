@@ -54,6 +54,12 @@ class Replicator {
   // CheckpointInterval: how often a passive primary checkpoints.
   void set_checkpoint_interval(SimTime interval);
   [[nodiscard]] SimTime checkpoint_interval() const { return params_.checkpoint_interval; }
+  // CheckpointAnchorInterval: every K-th group checkpoint is a full anchor;
+  // the rest are dirty-set deltas (1 = all full, the pre-delta protocol).
+  void set_checkpoint_anchor_interval(std::uint32_t interval);
+  [[nodiscard]] std::uint32_t checkpoint_anchor_interval() const {
+    return params_.checkpoint_anchor_interval;
+  }
   // ReplicationStyle, changed at runtime via the Fig. 5 protocol.
   void request_style_switch(ReplicationStyle target);
   [[nodiscard]] ReplicationStyle style() const;
@@ -69,6 +75,22 @@ class Replicator {
   [[nodiscard]] std::uint64_t requests_delivered() const { return request_index_; }
   [[nodiscard]] std::uint64_t requests_executed() const { return executed_count_; }
   [[nodiscard]] std::uint64_t checkpoints_taken() const { return checkpoint_counter_; }
+  // Incremental-checkpoint telemetry: cuts by kind, encoded bytes multicast,
+  // installs by kind, and anchor re-requests after chain gaps. The bench
+  // (bench/micro_checkpoint.cpp) and the knob layer's profiling read these.
+  [[nodiscard]] std::uint64_t checkpoints_full_taken() const { return checkpoints_full_; }
+  [[nodiscard]] std::uint64_t checkpoints_delta_taken() const { return checkpoints_delta_; }
+  [[nodiscard]] std::uint64_t checkpoint_bytes_sent() const { return checkpoint_bytes_; }
+  [[nodiscard]] std::uint64_t installs_full() const { return installs_full_; }
+  [[nodiscard]] std::uint64_t installs_delta() const { return installs_delta_; }
+  [[nodiscard]] std::uint64_t anchor_requests_sent() const { return anchor_requests_; }
+  // Chain position of this replica's state (last cut or installed checkpoint
+  // id); nullopt before any checkpoint activity.
+  [[nodiscard]] const std::optional<std::uint64_t>& installed_epoch() const {
+    return installed_epoch_;
+  }
+  // Exposed for retention tests/monitoring (reply GC under delta installs).
+  [[nodiscard]] const ReplyCache& reply_cache() const { return reply_cache_; }
   // Requests discarded because their FT_REQUEST expiration had passed.
   [[nodiscard]] std::uint64_t expired_requests_dropped() const {
     return expired_dropped_;
@@ -108,14 +130,19 @@ class Replicator {
   // Appends to the backup log.
   void log_request(const RequestRecord& rec);
   // Quiesce, snapshot, SAFE-multicast; resumes held requests when the
-  // checkpoint comes back (i.e. is stable at every member daemon).
-  void take_checkpoint();
+  // checkpoint comes back (i.e. is stable at every member daemon). Cuts a
+  // dirty-set delta when the anchor-interval knob and the app allow it;
+  // force_full pins an anchor (switch finals, gap recovery).
+  void take_checkpoint(bool force_full = false);
   // Quiesce and snapshot locally without multicasting — what a lone passive
   // primary does so a cold restart still has a recovery point.
   void take_local_checkpoint();
-  // Warm install: restore app + reply cache, truncate log.
+  // Warm install: restore app + reply cache (full), or apply the dirty set
+  // onto the matching base (delta), truncate log. A delta that does not
+  // continue this replica's chain is dropped and a full anchor re-requested.
   void install_checkpoint(const CheckpointMsg& msg);
-  // Cold path: retain without applying.
+  // Cold path: retain without applying — a full anchor plus the delta suffix
+  // chained onto it.
   void store_checkpoint(const CheckpointMsg& msg);
   [[nodiscard]] const std::optional<CheckpointMsg>& stored_checkpoint() const {
     return stored_checkpoint_;
@@ -147,7 +174,22 @@ class Replicator {
   void on_view(const gcs::View& view);
   void handle_request_envelope(const gcs::GroupMessage& msg, Payload giop);
   void handle_checkpoint(const CheckpointMsg& msg);
+  void handle_state_transfer(const StateTransferMsg& msg);
   void handle_switch(const SwitchMsg& msg);
+  // Quiescent-context body of take_checkpoint/donate_state: cut full or
+  // delta, update the chain, charge CPU, multicast.
+  void cut_and_multicast(bool donation);
+  [[nodiscard]] bool can_cut_delta() const;
+  // Serve a joiner: bundle the retained anchor + delta suffix (+ a fresh
+  // delta covering the order point), or fall back to a full checkpoint.
+  void donate_state();
+  // After a SAFE round completes: serve a deferred donation / anchor request.
+  void finish_checkpoint_round();
+  // Backup side: a delta did not continue our chain — ask the taker for a
+  // full anchor (deduplicated until one arrives).
+  void request_anchor();
+  // Install the retained cold chain: anchor, then the delta suffix.
+  void install_stored_chain();
   void complete_switch();
   void drain_holdq();
   void send_reply_to_client(const RequestRecord& rec, const Payload& reply_giop);
@@ -183,7 +225,32 @@ class Replicator {
   std::uint64_t checkpoint_counter_ = 0;
   std::uint64_t executions_since_checkpoint_ = 0;
   std::optional<std::uint64_t> outstanding_checkpoint_;  // id we multicast
-  std::optional<CheckpointMsg> stored_checkpoint_;       // cold passive
+  bool cut_pending_ = false;  // quiescence waiter registered, cut not yet taken
+  std::optional<CheckpointMsg> stored_checkpoint_;       // cold passive: anchor
+  std::vector<CheckpointMsg> stored_deltas_;  // cold passive: retained suffix
+
+  // Incremental checkpoint chain — taker side. The encoded anchor and delta
+  // suffix are retained (encode-once) so state transfer can ship
+  // `anchor + deltas` instead of a monolithic snapshot.
+  std::optional<std::uint64_t> last_cut_id_;  // our last group checkpoint
+  std::uint64_t last_cut_app_epoch_ = 0;      // app epoch of that cut
+  std::uint64_t deltas_since_anchor_ = 0;
+  bool anchor_requested_ = false;   // next cut must be a full anchor
+  bool pending_donation_ = false;   // state request arrived mid-round
+  Payload chain_anchor_;            // encoded full CheckpointMsg
+  std::vector<Payload> chain_deltas_;
+
+  // Installer side: chain position of this replica's state.
+  std::optional<std::uint64_t> installed_epoch_;
+  bool anchor_request_outstanding_ = false;
+
+  // Telemetry (see the introspection accessors).
+  std::uint64_t checkpoints_full_ = 0;
+  std::uint64_t checkpoints_delta_ = 0;
+  std::uint64_t checkpoint_bytes_ = 0;
+  std::uint64_t installs_full_ = 0;
+  std::uint64_t installs_delta_ = 0;
+  std::uint64_t anchor_requests_ = 0;
   bool holding_ = false;  // requests parked in holdq_ (quiescence / switch)
   std::vector<RequestRecord> holdq_;
   bool uninitialized_ = false;  // joiner awaiting state transfer

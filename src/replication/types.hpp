@@ -46,9 +46,14 @@ enum class ReplicationStyle : std::uint8_t {
 struct RepEnvelope {
   enum class Type : std::uint8_t {
     kRequest = 1,       // a client's GIOP request (payload = GIOP bytes)
-    kCheckpoint = 2,    // state checkpoint (payload = CheckpointMsg)
+    kCheckpoint = 2,    // full state checkpoint / anchor (payload = CheckpointMsg)
     kSwitch = 3,        // replication-style switch, Fig. 5 (payload = SwitchMsg)
     kStateRequest = 4,  // a joining replica asking for a state transfer
+    // Incremental checkpointing (new types keep full checkpoints, type 2,
+    // byte-identical to the original wire format):
+    kCheckpointDelta = 5,  // delta checkpoint (payload = CheckpointMsg, kDelta)
+    kStateTransfer = 6,    // anchor + delta suffix (payload = StateTransferMsg)
+    kAnchorRequest = 7,    // a backup with a chain gap asking for a full anchor
   };
 
   Type type = Type::kRequest;
@@ -67,14 +72,41 @@ struct RepEnvelope {
 //    entry — robust against client retransmissions, group-layer replays and
 //    joiners whose local delivery counts differ from the primary's;
 //  - `reply_cache` holds recent replies for resending to retrying clients.
+//
+// Two kinds on the wire. A *full* checkpoint (anchor) carries the whole app
+// snapshot and is self-contained; its encoding is unchanged from the
+// original protocol. A *delta* checkpoint carries only the app's dirty set
+// since `base_epoch` (the checkpoint id it chains onto) and is only
+// installable on a replica whose state is exactly at `base_epoch`;
+// `delta_epoch` equals `checkpoint_id` and is written explicitly so the
+// chain position survives re-encoding. The applied map and reply cache are
+// always complete (they are small), so log truncation and exactly-once dedup
+// work identically for both kinds.
 struct CheckpointMsg {
+  enum class Kind : std::uint8_t { kFull = 0, kDelta = 1 };
+
+  Kind kind = Kind::kFull;
   std::uint64_t checkpoint_id = 0;
+  std::uint64_t base_epoch = 0;   // delta only: predecessor checkpoint id
+  std::uint64_t delta_epoch = 0;  // delta only: == checkpoint_id
   std::map<ProcessId, std::uint64_t> applied;
-  Payload app_state;
+  Payload app_state;  // full snapshot, or the app's delta encoding
   Payload reply_cache;
 
   [[nodiscard]] Bytes encode() const;
-  static CheckpointMsg decode(const Payload& raw);
+  static CheckpointMsg decode(const Payload& raw, Kind kind = Kind::kFull);
+};
+
+// State transfer bundle: the donor's retained full anchor plus the encoded
+// delta suffix cut since it. A joiner installs the whole chain atomically;
+// initialized backups install whatever continues their own chain (the bundle
+// carries the freshly cut delta, which is not multicast separately).
+struct StateTransferMsg {
+  Payload anchor;               // encoded full CheckpointMsg
+  std::vector<Payload> deltas;  // encoded delta CheckpointMsgs, chain order
+
+  [[nodiscard]] Bytes encode() const;
+  static StateTransferMsg decode(const Payload& raw);
 };
 
 struct SwitchMsg {
@@ -94,6 +126,11 @@ struct ReplicatorParams {
   // backup staleness stays bounded under load (0 disables the trigger).
   SimTime checkpoint_interval;       // warm/cold passive
   std::uint32_t checkpoint_every_requests = 25;
+  // Incremental checkpointing cadence ("CheckpointAnchorInterval" knob):
+  // every K-th group checkpoint is a full anchor; the up-to-K-1 checkpoints
+  // between anchors are dirty-set deltas (when the app supports them). 1 =
+  // every checkpoint is full — byte-identical to the pre-delta protocol.
+  std::uint32_t checkpoint_anchor_interval = 1;
   // Hybrid style: how many replicas (by view rank) form the active core.
   std::size_t hybrid_active_core = 2;
   double snapshot_bytes_per_sec = 100e6;  // state (de)serialization CPU rate

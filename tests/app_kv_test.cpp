@@ -69,6 +69,87 @@ TEST(KvStore, SnapshotRestoreAndDigest) {
   EXPECT_EQ(a.state_digest(), c.state_digest());
 }
 
+TEST(KvStore, DeltaCarriesOnlyTheDirtySet) {
+  KvStoreServant kv;
+  for (int i = 0; i < 100; ++i) {
+    (void)kv.invoke("put", KvStoreServant::encode_put("key" + std::to_string(i),
+                                                      std::string(32, 'v')));
+  }
+  const std::uint64_t cut = kv.cut_epoch();
+  (void)kv.invoke("put", KvStoreServant::encode_put("key7", "new"));
+
+  auto delta = kv.snapshot_delta(cut);
+  ASSERT_TRUE(delta.has_value());
+  // One dirty key out of 100: the delta is a small fraction of the snapshot.
+  EXPECT_LT(delta->size(), kv.snapshot().size() / 10);
+
+  KvStoreServant other;
+  other.restore(kv.snapshot());
+  (void)other.invoke("put", KvStoreServant::encode_put("key7", "stale"));
+  other.apply_delta(*delta);
+  EXPECT_EQ(other.lookup("key7"), "new");
+}
+
+TEST(KvStore, DeltaReplaysErasesAsTombstones) {
+  KvStoreServant a;
+  (void)a.invoke("put", KvStoreServant::encode_put("keep", "1"));
+  (void)a.invoke("put", KvStoreServant::encode_put("drop", "2"));
+
+  KvStoreServant b;
+  b.restore(a.snapshot());
+  const std::uint64_t a_cut = a.cut_epoch();
+
+  (void)a.invoke("erase", KvStoreServant::encode_key("drop"));
+  (void)a.invoke("append", KvStoreServant::encode_append("keep", "+"));
+  auto delta = a.snapshot_delta(a_cut);
+  ASSERT_TRUE(delta.has_value());
+  b.apply_delta(*delta);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_FALSE(b.lookup("drop").has_value());
+  EXPECT_EQ(b.lookup("keep"), "1+");
+}
+
+TEST(KvStore, DeltaUnanswerableForStaleOrFutureCutsAndAfterRestore) {
+  KvStoreServant kv;
+  (void)kv.invoke("put", KvStoreServant::encode_put("k", "v"));
+  const std::uint64_t cut = kv.cut_epoch();
+  EXPECT_TRUE(kv.snapshot_delta(cut).has_value());
+  // A cut that was never taken (the open epoch) is unanswerable.
+  EXPECT_FALSE(kv.snapshot_delta(cut + 1).has_value());
+
+  // restore() discards the per-key stamps: the old cut is now below the
+  // delta floor and must be refused, not misanswered.
+  kv.restore(kv.snapshot());
+  EXPECT_FALSE(kv.snapshot_delta(cut).has_value());
+  const std::uint64_t fresh = kv.cut_epoch();
+  EXPECT_TRUE(kv.snapshot_delta(fresh).has_value());
+}
+
+TEST(KvStore, AnchorPlusDeltaChainMatchesMonolithicSnapshot) {
+  // The replicator's chain invariant at app level: full snapshot at cut 0,
+  // then a delta per cut, applied in order, lands on the same digest as one
+  // final snapshot/restore.
+  KvStoreServant primary;
+  KvStoreServant backup;
+  (void)primary.invoke("put", KvStoreServant::encode_put("a", "0"));
+  backup.restore(primary.snapshot());
+  std::uint64_t cut = primary.cut_epoch();
+  for (int round = 0; round < 5; ++round) {
+    (void)primary.invoke("put", KvStoreServant::encode_put(
+                                    "k" + std::to_string(round % 2), "r" +
+                                    std::to_string(round)));
+    if (round == 3) (void)primary.invoke("erase", KvStoreServant::encode_key("a"));
+    auto delta = primary.snapshot_delta(cut);
+    ASSERT_TRUE(delta.has_value());
+    cut = primary.cut_epoch();
+    backup.apply_delta(*delta);
+    EXPECT_EQ(backup.state_digest(), primary.state_digest());
+  }
+  KvStoreServant monolithic;
+  monolithic.restore(primary.snapshot());
+  EXPECT_EQ(monolithic.state_digest(), backup.state_digest());
+}
+
 TEST(KvStore, StateSizeTracksContent) {
   KvStoreServant kv;
   const auto empty = kv.state_size();

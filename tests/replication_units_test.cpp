@@ -100,6 +100,43 @@ TEST(MessageLog, UnknownClientNeverTruncated) {
   EXPECT_EQ(log.size(), 1u);
 }
 
+TEST(MessageLog, TruncateWithRetentionIdGapsKeepsEverythingAboveFrontier) {
+  // Clients may skip retention ids (expired requests are dropped before
+  // execution); truncation is a <= comparison against the frontier, not a
+  // membership test, so gaps below it vanish and gaps above it survive.
+  MessageLog log;
+  log.append(LoggedRequest{1, rid(1, 1), NodeId{0}, kTimeZero, {}});
+  log.append(LoggedRequest{2, rid(1, 3), NodeId{0}, kTimeZero, {}});
+  log.append(LoggedRequest{3, rid(1, 5), NodeId{0}, kTimeZero, {}});
+  log.append(LoggedRequest{4, rid(2, 2), NodeId{0}, kTimeZero, {}});
+  log.truncate_applied({{ProcessId{1}, 4}, {ProcessId{2}, 1}});
+  auto rest = log.take_all();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].request_id, rid(1, 5));
+  EXPECT_EQ(rest[1].request_id, rid(2, 2));
+}
+
+TEST(MessageLog, TruncateWithEmptyAppliedMapIsANoOp) {
+  MessageLog log;
+  log.append(LoggedRequest{1, rid(1, 1), NodeId{0}, kTimeZero, filler_bytes(8)});
+  log.truncate_applied({});
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.bytes(), 8u);
+}
+
+TEST(MessageLog, TakeAllMovesPayloadsWithoutCopying) {
+  MessageLog log;
+  Payload giop = filler_bytes(64);
+  const std::uint8_t* buffer = giop.data();
+  log.append(LoggedRequest{1, rid(1, 1), NodeId{0}, kTimeZero, std::move(giop)});
+  auto out = log.take_all();
+  ASSERT_EQ(out.size(), 1u);
+  // Same underlying buffer: the entry changed hands by move, not by copy.
+  EXPECT_EQ(out[0].giop.data(), buffer);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.bytes(), 0u);
+}
+
 TEST(QuiescenceTracker, ImmediateWhenIdle) {
   QuiescenceTracker q;
   bool fired = false;
@@ -137,7 +174,10 @@ TEST(Checkpoint, SnapshotCpuTimeScalesLinearly) {
 
 TEST(Envelope, RoundTripAllTypes) {
   for (auto type : {RepEnvelope::Type::kRequest, RepEnvelope::Type::kCheckpoint,
-                    RepEnvelope::Type::kSwitch, RepEnvelope::Type::kStateRequest}) {
+                    RepEnvelope::Type::kSwitch, RepEnvelope::Type::kStateRequest,
+                    RepEnvelope::Type::kCheckpointDelta,
+                    RepEnvelope::Type::kStateTransfer,
+                    RepEnvelope::Type::kAnchorRequest}) {
     RepEnvelope env{type, filler_bytes(20)};
     RepEnvelope out = RepEnvelope::decode(env.encode());
     EXPECT_EQ(out.type, type);
@@ -162,6 +202,103 @@ TEST(CheckpointMsgCodec, RoundTrip) {
   EXPECT_EQ(out.applied, msg.applied);
   EXPECT_EQ(out.app_state, msg.app_state);
   EXPECT_EQ(out.reply_cache, msg.reply_cache);
+}
+
+TEST(CheckpointMsgCodec, FullEncodingIsByteIdenticalToPreDeltaFormat) {
+  // The delta extension must not perturb full checkpoints on the wire: at
+  // anchor-interval 1 the protocol is byte-for-byte the seed protocol. This
+  // pins the original layout by hand.
+  CheckpointMsg msg;
+  msg.checkpoint_id = 0x12345678;
+  msg.applied[ProcessId{2}] = 9;
+  msg.app_state = Bytes{0xaa, 0xbb};
+  msg.reply_cache = Bytes{0xcc};
+
+  ByteWriter w;
+  w.u64(0x12345678);             // checkpoint_id
+  w.u32(1);                      // applied entries
+  w.u64(2);                      // client pid
+  w.u64(9);                      // retention id
+  w.bytes(Bytes{0xaa, 0xbb});    // app_state (length-prefixed)
+  w.bytes(Bytes{0xcc});          // reply_cache (length-prefixed)
+  EXPECT_EQ(msg.encode(), std::move(w).take());
+}
+
+TEST(CheckpointMsgCodec, DeltaRoundTripCarriesChainEpochs) {
+  CheckpointMsg msg;
+  msg.kind = CheckpointMsg::Kind::kDelta;
+  msg.checkpoint_id = (7ULL << 20) | 4;
+  msg.base_epoch = (7ULL << 20) | 3;
+  msg.delta_epoch = msg.checkpoint_id;
+  msg.applied[ProcessId{1}] = 17;
+  msg.app_state = filler_bytes(12, 3);
+  msg.reply_cache = filler_bytes(5, 9);
+  CheckpointMsg out = CheckpointMsg::decode(msg.encode(), CheckpointMsg::Kind::kDelta);
+  EXPECT_EQ(out.kind, CheckpointMsg::Kind::kDelta);
+  EXPECT_EQ(out.checkpoint_id, msg.checkpoint_id);
+  EXPECT_EQ(out.base_epoch, msg.base_epoch);
+  EXPECT_EQ(out.delta_epoch, msg.delta_epoch);
+  EXPECT_EQ(out.applied, msg.applied);
+  EXPECT_EQ(out.app_state, msg.app_state);
+  EXPECT_EQ(out.reply_cache, msg.reply_cache);
+}
+
+TEST(CheckpointMsgCodec, DeltaValidationRejectsCorruptChains) {
+  CheckpointMsg msg;
+  msg.kind = CheckpointMsg::Kind::kDelta;
+  msg.checkpoint_id = 10;
+  msg.delta_epoch = 10;
+  msg.base_epoch = 9;
+  const Bytes good = msg.encode();
+
+  // delta_epoch must equal checkpoint_id.
+  {
+    ByteWriter w;
+    w.u64(10);   // checkpoint_id
+    w.u64(9);    // base_epoch
+    w.u64(11);   // delta_epoch != checkpoint_id
+    w.u32(0);
+    w.bytes(Bytes{});
+    w.bytes(Bytes{});
+    EXPECT_THROW((void)CheckpointMsg::decode(Payload(std::move(w).take()),
+                                             CheckpointMsg::Kind::kDelta),
+                 DecodeError);
+  }
+  // A delta must chain forwards (base < delta).
+  {
+    ByteWriter w;
+    w.u64(10);
+    w.u64(10);   // base_epoch == delta_epoch
+    w.u64(10);
+    w.u32(0);
+    w.bytes(Bytes{});
+    w.bytes(Bytes{});
+    EXPECT_THROW((void)CheckpointMsg::decode(Payload(std::move(w).take()),
+                                             CheckpointMsg::Kind::kDelta),
+                 DecodeError);
+  }
+  EXPECT_NO_THROW((void)CheckpointMsg::decode(Payload(Bytes(good)),
+                                              CheckpointMsg::Kind::kDelta));
+}
+
+TEST(StateTransferMsgCodec, RoundTripAnchorPlusDeltaSuffix) {
+  StateTransferMsg msg;
+  msg.anchor = filler_bytes(40, 1);
+  msg.deltas.push_back(filler_bytes(8, 2));
+  msg.deltas.push_back(filler_bytes(6, 3));
+  StateTransferMsg out = StateTransferMsg::decode(msg.encode());
+  EXPECT_EQ(out.anchor, msg.anchor);
+  ASSERT_EQ(out.deltas.size(), 2u);
+  EXPECT_EQ(out.deltas[0], msg.deltas[0]);
+  EXPECT_EQ(out.deltas[1], msg.deltas[1]);
+}
+
+TEST(Checkpoint, DeltaCpuTimeChargesDirtyBytesClampedAtFull) {
+  // A delta pays for its own bytes; a pathological delta larger than the
+  // state never pays more than a full snapshot would.
+  EXPECT_EQ(checkpoint_cpu_time(100'000'000, std::nullopt, 100e6), sec(1));
+  EXPECT_EQ(checkpoint_cpu_time(100'000'000, 1'000'000, 100e6), msec(10));
+  EXPECT_EQ(checkpoint_cpu_time(1'000'000, 100'000'000, 100e6), msec(10));
 }
 
 TEST(SwitchMsgCodec, RoundTrip) {
