@@ -1,0 +1,46 @@
+// Shared main for the google-benchmark binaries.
+//
+// Bench hygiene: BENCH_*.json baselines are only meaningful from an
+// optimized, assertion-free build. This main stamps the *library under
+// test's* build type into the JSON context ("vdep_build_type") — the
+// stock "library_build_type" field describes the system libbenchmark,
+// which Debian ships without NDEBUG and therefore always reads "debug" —
+// and refuses to write a --benchmark_out file at all when this binary was
+// compiled with assertions enabled.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace {
+
+#ifdef NDEBUG
+constexpr const char* kVdepBuildType = "release";
+#else
+constexpr const char* kVdepBuildType = "debug";
+#endif
+
+bool wants_recording(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) return true;
+    if (std::strcmp(argv[i], "--benchmark_out") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (std::strcmp(kVdepBuildType, "release") != 0 && wants_recording(argc, argv)) {
+    std::fprintf(stderr,
+                 "refusing to record a BENCH_*.json baseline from a debug build "
+                 "(NDEBUG not set); configure with -DCMAKE_BUILD_TYPE=Release\n");
+    return 1;
+  }
+  benchmark::AddCustomContext("vdep_build_type", kVdepBuildType);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

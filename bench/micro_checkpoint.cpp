@@ -137,4 +137,4 @@ BENCHMARK(BM_CheckpointStream)->Arg(1)->Arg(16)->ArgName("anchor_interval");
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main provided by bench_main.cpp (build-type stamping + debug refusal).

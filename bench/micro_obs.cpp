@@ -128,4 +128,4 @@ BENCHMARK(BM_ExportChromeTrace)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main provided by bench_main.cpp (build-type stamping + debug refusal).

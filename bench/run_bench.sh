@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
-# Builds the micro-benchmarks in Release mode and records their results at
-# the repo root: BENCH_substrate.json (substrate components), BENCH_obs.json
-# (observability layer — span costs and the tracing-off/on scenario pair),
-# BENCH_checkpoint.json (incremental checkpointing — delta vs. full bytes at
-# swept dirty fractions, and the live checkpoint stream at anchor interval
-# 1 vs. 16), then runs the seeded chaos campaign and records BENCH_chaos.json.
+# Builds the benchmarks in Release mode (-O2, NDEBUG) and records their
+# results at the repo root: BENCH_substrate.json (substrate components),
+# BENCH_obs.json (observability layer), BENCH_checkpoint.json (incremental
+# checkpointing), BENCH_kernel.json (macro events/sec of the simulation
+# kernel across whole scenarios), then runs the seeded chaos campaign and
+# records BENCH_chaos.json.
+#
+# Bench hygiene: baselines must never be recorded from a debug build. The
+# bench binaries themselves refuse --benchmark_out when compiled without
+# NDEBUG (see bench_main.cpp), and this script additionally verifies the
+# "vdep_build_type" context stamped into every emitted JSON. (The stock
+# "library_build_type" field describes the *system libbenchmark*, which
+# Debian ships without NDEBUG — it reads "debug" even in a fully optimized
+# build and is not the gate.)
 #
 # Usage: bench/run_bench.sh [extra google-benchmark args...]
 set -euo pipefail
@@ -12,34 +20,36 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
 
-cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
 cmake --build "${build_dir}" -j"$(nproc)" \
   --target micro_substrate --target micro_obs --target micro_checkpoint \
-  --target chaos_runner
+  --target macro_events --target chaos_runner
 
-"${build_dir}/bench/micro_substrate" \
-  --benchmark_format=json \
-  --benchmark_out="${repo_root}/BENCH_substrate.json" \
-  --benchmark_out_format=json \
-  "$@"
+# Records one google-benchmark binary into BENCH_<name>.json, refusing to
+# keep the result unless the binary stamped itself as a release build.
+record() {
+  local binary="$1" out="$2"
+  shift 2
+  "${binary}" \
+    --benchmark_format=json \
+    --benchmark_out="${out}.tmp" \
+    --benchmark_out_format=json \
+    "$@"
+  if ! grep -q '"vdep_build_type": "release"' "${out}.tmp"; then
+    rm -f "${out}.tmp"
+    echo "error: ${binary} did not stamp vdep_build_type=release; refusing to record ${out}" >&2
+    exit 1
+  fi
+  mv "${out}.tmp" "${out}"
+  echo "wrote ${out}"
+}
 
-echo "wrote ${repo_root}/BENCH_substrate.json"
-
-"${build_dir}/bench/micro_obs" \
-  --benchmark_format=json \
-  --benchmark_out="${repo_root}/BENCH_obs.json" \
-  --benchmark_out_format=json \
-  "$@"
-
-echo "wrote ${repo_root}/BENCH_obs.json"
-
-"${build_dir}/bench/micro_checkpoint" \
-  --benchmark_format=json \
-  --benchmark_out="${repo_root}/BENCH_checkpoint.json" \
-  --benchmark_out_format=json \
-  "$@"
-
-echo "wrote ${repo_root}/BENCH_checkpoint.json"
+record "${build_dir}/bench/micro_substrate" "${repo_root}/BENCH_substrate.json" "$@"
+record "${build_dir}/bench/micro_obs" "${repo_root}/BENCH_obs.json" "$@"
+record "${build_dir}/bench/micro_checkpoint" "${repo_root}/BENCH_checkpoint.json" "$@"
+record "${build_dir}/bench/macro_events" "${repo_root}/BENCH_kernel.json" "$@"
 
 "${build_dir}/examples/chaos_runner" trials=200 seed=1 \
   out="${repo_root}/BENCH_chaos.json"

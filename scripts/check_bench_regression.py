@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fails when a benchmark counter regressed beyond a threshold vs a baseline.
+
+Compares google-benchmark JSON outputs by benchmark name. Only benchmarks
+present in both files are compared; higher counter values are better (the
+counters gated here are rates, e.g. events_per_sec).
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json \
+      --counter events_per_sec [--max-regression 0.20]
+"""
+import argparse
+import json
+import sys
+
+
+def load_counters(path, counter):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if counter in bench:
+            out[bench["name"]] = float(bench[counter])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--counter", required=True)
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="fail when current < baseline * (1 - this)")
+    args = ap.parse_args()
+
+    base = load_counters(args.baseline, args.counter)
+    cur = load_counters(args.current, args.counter)
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print(f"error: no common benchmarks with counter {args.counter!r} "
+              f"between {args.baseline} and {args.current}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for name in common:
+        ratio = cur[name] / base[name]
+        verdict = "OK"
+        if ratio < 1.0 - args.max_regression:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"{name}: {args.counter} {base[name]:.3g} -> {cur[name]:.3g} "
+              f"({ratio:.2f}x baseline) {verdict}")
+    if failed:
+        print(f"error: {args.counter} regressed more than "
+              f"{args.max_regression:.0%} vs baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

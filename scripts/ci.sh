@@ -29,6 +29,32 @@ cmake --build "${repo_root}/build" -j"${jobs}" --target micro_checkpoint
 "${repo_root}/build/bench/micro_checkpoint" --benchmark_min_time=0.001 > /dev/null
 echo "micro_checkpoint runs clean"
 
+echo "== kernel macro-benchmark smoke + regression gate =="
+# Smoke: the whole-scenario events/sec benchmark must run on the default
+# build. The regression gate then re-measures the kernel-churn workload in
+# Release and fails if events/sec fell more than 20% below the recorded
+# BENCH_kernel.json baseline (kernel hot-path regressions land here first).
+cmake --build "${repo_root}/build" -j"${jobs}" --target macro_events
+"${repo_root}/build/bench/macro_events" \
+  --benchmark_filter='BM_MacroKernelChurn' --benchmark_min_time=0.01 > /dev/null
+echo "macro_events runs clean"
+if [[ -f "${repo_root}/BENCH_kernel.json" ]]; then
+  cmake -B "${repo_root}/build-bench" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
+  cmake --build "${repo_root}/build-bench" -j"${jobs}" --target macro_events
+  bench_dir="$(mktemp -d)"
+  "${repo_root}/build-bench/bench/macro_events" \
+    --benchmark_filter='BM_MacroKernelChurn' \
+    --benchmark_format=json --benchmark_out="${bench_dir}/kernel.json" \
+    --benchmark_out_format=json > /dev/null
+  python3 "${repo_root}/scripts/check_bench_regression.py" \
+    "${repo_root}/BENCH_kernel.json" "${bench_dir}/kernel.json" \
+    --counter events_per_sec --max-regression 0.20
+  rm -rf "${bench_dir}"
+else
+  echo "no BENCH_kernel.json baseline; skipping regression gate"
+fi
+
 echo "== trace determinism gate =="
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "${trace_dir}"' EXIT

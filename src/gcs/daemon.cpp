@@ -272,8 +272,18 @@ void Daemon::handle_private(PrivateMsg&& msg) {
 void Daemon::deliver_from_buffer(GroupId group) {
   auto it = buffers_.find(group);
   if (it == buffers_.end()) return;
+  std::vector<LocalDelivery> batch;
   for (const Ordered& msg : it->second.take_deliverable()) {
-    deliver_one(msg);
+    deliver_one(msg, batch);
+  }
+  if (!batch.empty()) {
+    // One kernel event for the whole deliverable run. The per-item posts this
+    // replaces were scheduled back-to-back at the same time, so they fired as
+    // consecutive same-tick events anyway — running the items in order inside
+    // one dispatch preserves that order exactly.
+    post(kLoopbackDelay, [this, items = std::move(batch)] {
+      for (const LocalDelivery& d : items) fire_local_delivery(d);
+    });
   }
   // Stop tracking groups we no longer serve.
   auto vit = delivery_views_.find(group);
@@ -288,7 +298,7 @@ void Daemon::deliver_from_buffer(GroupId group) {
   }
 }
 
-void Daemon::deliver_one(const Ordered& msg) {
+void Daemon::deliver_one(const Ordered& msg, std::vector<LocalDelivery>& batch) {
   if (msg.kind == Ordered::Kind::kView) {
     View view = View::decode(msg.payload);
     if (kernel().tracer().enabled()) {
@@ -313,18 +323,7 @@ void Daemon::deliver_one(const Ordered& msg) {
     }
     delivery_views_[msg.group] = view;
     for (ProcessId pid : notify) {
-      post(kLoopbackDelay, [this, pid, view] {
-        auto eit = endpoints_.find(pid);
-        if (eit == endpoints_.end()) return;
-        auto eps = eit->second;
-        for (Endpoint* ep : eps) {
-          if (!ep->process().alive()) continue;
-          // Only the endpoint joined to this group cares; a voluntary leaver
-          // already knows it left and gets no farewell view.
-          if (!ep->joined_groups().contains(view.group)) continue;
-          ep->deliver_view(view);
-        }
-      });
+      batch.push_back(LocalDelivery{pid, view, GroupMessage{}});
     }
     return;
   }
@@ -340,22 +339,35 @@ void Daemon::deliver_one(const Ordered& msg) {
     gm.sender_daemon = msg.origin_daemon;
     gm.payload = msg.payload;
     gm.trace = msg.trace;
-    post(kLoopbackDelay, [this, pid = m.process, gm = std::move(gm)] {
-      auto eit = endpoints_.find(pid);
-      if (eit == endpoints_.end()) return;
-      auto eps = eit->second;
-      for (Endpoint* ep : eps) {
-        if (!ep->process().alive()) continue;
-        if (!ep->joined_groups().contains(gm.group)) continue;
-        obs::Span span;
-        if (gm.trace.valid()) {
-          span = kernel().tracer().start_span("gcs.deliver", "gcs", name(), gm.trace);
-        }
-        obs::Tracer::Scope scope(kernel().tracer(),
-                                 span.active() ? span.context() : gm.trace);
-        ep->deliver_message(gm);
-      }
-    });
+    batch.push_back(LocalDelivery{m.process, std::nullopt, std::move(gm)});
+  }
+}
+
+void Daemon::fire_local_delivery(const LocalDelivery& d) {
+  auto eit = endpoints_.find(d.pid);
+  if (eit == endpoints_.end()) return;
+  // Copy: delivery may register/unregister endpoints.
+  auto eps = eit->second;
+  if (d.view) {
+    for (Endpoint* ep : eps) {
+      if (!ep->process().alive()) continue;
+      // Only the endpoint joined to this group cares; a voluntary leaver
+      // already knows it left and gets no farewell view.
+      if (!ep->joined_groups().contains(d.view->group)) continue;
+      ep->deliver_view(*d.view);
+    }
+    return;
+  }
+  for (Endpoint* ep : eps) {
+    if (!ep->process().alive()) continue;
+    if (!ep->joined_groups().contains(d.gm.group)) continue;
+    obs::Span span;
+    if (d.gm.trace.valid()) {
+      span = kernel().tracer().start_span("gcs.deliver", "gcs", name(), d.gm.trace);
+    }
+    obs::Tracer::Scope scope(kernel().tracer(),
+                             span.active() ? span.context() : d.gm.trace);
+    ep->deliver_message(d.gm);
   }
 }
 

@@ -99,9 +99,19 @@ class Daemon : public sim::Process {
   void send_forward_to_leader(const Forward& fwd);
   void order_forward(const Forward& fwd);  // leader-side sequencing (+span)
 
-  // Delivery to local endpoints.
+  // Delivery to local endpoints. An ordered message ready for delivery
+  // becomes one LocalDelivery per local member; the whole batch popped by a
+  // single take_deliverable() call rides one kernel event (the items fire
+  // back-to-back at the same instant a per-item post would have run them,
+  // so a multicast round costs one dispatch instead of N).
+  struct LocalDelivery {
+    ProcessId pid;
+    std::optional<View> view;  // set for view notifications
+    GroupMessage gm;           // payload delivery otherwise
+  };
   void deliver_from_buffer(GroupId group);
-  void deliver_one(const Ordered& msg);
+  void deliver_one(const Ordered& msg, std::vector<LocalDelivery>& batch);
+  void fire_local_delivery(const LocalDelivery& d);
 
   // Leadership.
   void stability_token_tick();

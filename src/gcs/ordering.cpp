@@ -1,23 +1,10 @@
 #include "gcs/ordering.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace vdep::gcs {
-
-std::uint64_t GroupReceiveBuffer::contiguous_seq(std::uint64_t epoch) const {
-  auto it = contiguous_count_.find(epoch);
-  // count == n means seqs [0, n-1] received; returns one past the last, i.e.
-  // the next seq expected for contiguity.
-  return it == contiguous_count_.end() ? 0 : it->second;
-}
-
-bool GroupReceiveBuffer::is_duplicate(const Ordered& msg) const {
-  if (anchored_ && msg.epoch < anchor_floor()) return true;
-  if (msg.seq < contiguous_seq(msg.epoch)) return true;
-  auto pit = pending_seqs_.find(msg.epoch);
-  if (pit != pending_seqs_.end() && pit->second.contains(msg.seq)) return true;
-  return false;
-}
 
 GroupReceiveBuffer::OfferResult GroupReceiveBuffer::offer(const Ordered& msg,
                                                           NodeId self) {
@@ -27,7 +14,15 @@ GroupReceiveBuffer::OfferResult GroupReceiveBuffer::offer(const Ordered& msg,
   // Piggybacked stability is useful even on duplicates.
   set_stable(msg.epoch, msg.stable_upto);
 
-  if (is_duplicate(msg)) return result;
+  // Duplicate? All three checks are O(1): the anchor floor, the contiguity
+  // watermark (covers everything GC'd off the ring, since base <= contiguous),
+  // and slot presence in the ring.
+  if (anchored_ && msg.epoch < anchor_floor()) return result;
+  EpochBuf& eb = epochs_[msg.epoch];
+  if (msg.seq < eb.contiguous) return result;
+  VDEP_ASSERT(msg.seq >= eb.base);
+  const std::size_t idx = msg.seq - eb.base;
+  if (idx < eb.ring.size() && eb.ring[idx]) return result;
 
   // Anchor on the first view message we ever accept.
   if (!anchored_) {
@@ -41,47 +36,45 @@ GroupReceiveBuffer::OfferResult GroupReceiveBuffer::offer(const Ordered& msg,
   }
 
   result.accepted = true;
-  buffer_.emplace(std::make_pair(msg.epoch, msg.seq), msg);
-  pending_seqs_[msg.epoch].insert(msg.seq);
-  extend_contiguity(msg.epoch);
+  if (idx >= eb.ring.size()) eb.ring.resize(idx + 1);
+  eb.ring[idx] = msg;
+  while (eb.contiguous - eb.base < eb.ring.size() &&
+         eb.ring[eb.contiguous - eb.base]) {
+    ++eb.contiguous;
+  }
 
-  const std::uint64_t contig = contiguous_seq(msg.epoch);
-  if (contig > 0) {
-    result.ack = OrdAck{self, group_, msg.epoch, contig - 1};
+  if (eb.contiguous > 0) {
+    result.ack = OrdAck{self, group_, msg.epoch, eb.contiguous - 1};
   }
   return result;
 }
 
-void GroupReceiveBuffer::extend_contiguity(std::uint64_t epoch) {
-  auto& count = contiguous_count_[epoch];
-  auto& pending = pending_seqs_[epoch];
-  while (pending.contains(count)) {
-    pending.erase(count);
-    ++count;
-  }
-}
-
 void GroupReceiveBuffer::set_stable(std::uint64_t epoch, std::uint64_t stable_count) {
-  auto& cur = stable_upto_[epoch];
-  if (stable_count > cur) {
-    cur = stable_count;
+  EpochBuf& eb = epochs_[epoch];
+  if (stable_count > eb.stable) {
+    eb.stable = stable_count;
     garbage_collect(epoch);
   }
 }
 
 void GroupReceiveBuffer::garbage_collect(std::uint64_t epoch) {
-  const std::uint64_t stable_count = stable_upto_[epoch];
-  auto it = buffer_.lower_bound({epoch, 0});
-  while (it != buffer_.end() && it->first.first == epoch) {
-    const std::uint64_t seq = it->first.second;
-    const bool delivered =
-        anchored_ && (epoch < current_epoch_ ||
-                      (epoch == current_epoch_ && seq < next_seq_));
-    if (seq < stable_count && delivered) {
-      it = buffer_.erase(it);
-    } else {
-      ++it;
-    }
+  // Retention rule: a message leaves the buffer once it is stable AND
+  // delivered. Delivery is a seq-order prefix, so collection is a pop from
+  // the ring front — amortized O(1) per message over the epoch's life,
+  // where rescanning the epoch per call was the old quadratic hot spot.
+  EpochBuf& eb = epochs_[epoch];
+  const std::uint64_t delivered =
+      !anchored_ ? 0
+      : epoch < current_epoch_
+          ? ~std::uint64_t{0}  // finished epochs are delivered in full
+          : (epoch == current_epoch_ ? next_seq_ : 0);
+  const std::uint64_t limit = std::min(eb.stable, delivered);
+  while (eb.base < limit && !eb.ring.empty()) {
+    // No holes below the stable+delivered floor: stability implies our own
+    // ack, which implies contiguous receipt.
+    VDEP_ASSERT(eb.ring.front().has_value());
+    eb.ring.pop_front();
+    ++eb.base;
   }
 }
 
@@ -90,45 +83,52 @@ std::vector<Ordered> GroupReceiveBuffer::take_deliverable() {
   for (;;) {
     if (!anchored_) {
       if (anchor_epoch_candidate_ == 0) break;
-      auto it = buffer_.find({anchor_epoch_candidate_, 0});
-      if (it == buffer_.end() || it->second.kind != Ordered::Kind::kView) break;
+      auto it = epochs_.find(anchor_epoch_candidate_);
+      if (it == epochs_.end()) break;
+      const Ordered* head = it->second.get(0);
+      if (head == nullptr || head->kind != Ordered::Kind::kView) break;
       anchored_ = true;
       anchor_epoch_ = anchor_epoch_candidate_;
       current_epoch_ = anchor_epoch_candidate_;
       next_seq_ = 0;
       // Anything buffered from epochs before the anchor (takeover replays of
       // history that predates our membership) will never be delivered here.
-      buffer_.erase(buffer_.begin(), buffer_.lower_bound({anchor_epoch_, 0}));
+      // The epoch records stay — their watermarks are still real.
+      for (auto& [ep, eb] : epochs_) {
+        if (ep >= anchor_epoch_) break;
+        eb.ring.clear();
+      }
     }
 
-    auto it = buffer_.find({current_epoch_, next_seq_});
-    if (it != buffer_.end()) {
-      const Ordered& msg = it->second;
+    EpochBuf& eb = epochs_[current_epoch_];
+    if (const Ordered* msg = eb.get(next_seq_)) {
       // SAFE delivery waits for stability; later messages wait behind it to
-      // preserve total order. stable_upto_ holds counts: seqs < count are
-      // stable at every member daemon.
-      if (msg.svc == ServiceType::kSafe &&
-          stable_upto_[current_epoch_] < msg.seq + 1) {
+      // preserve total order. `stable` holds counts: seqs < count are stable
+      // at every member daemon.
+      if (msg->svc == ServiceType::kSafe && eb.stable < msg->seq + 1) {
         break;
       }
-      if (msg.kind == Ordered::Kind::kView) {
-        installed_view_ = View::decode(msg.payload);
+      if (msg->kind == Ordered::Kind::kView) {
+        installed_view_ = View::decode(msg->payload);
       }
-      out.push_back(msg);
+      out.push_back(*msg);
       ++next_seq_;
       garbage_collect(current_epoch_);
       continue;
     }
 
     // Nothing at the cursor: can we cross into the next epoch?
-    auto vit = buffer_.find({current_epoch_ + 1, 0});
-    if (vit != buffer_.end() && vit->second.kind == Ordered::Kind::kView &&
-        next_seq_ > 0 && vit->second.prev_epoch_end <= next_seq_ - 1) {
-      VDEP_ASSERT_MSG(vit->second.prev_epoch_end == next_seq_ - 1,
-                      "delivered past declared epoch end");
-      ++current_epoch_;
-      next_seq_ = 0;
-      continue;
+    auto vit = epochs_.find(current_epoch_ + 1);
+    if (vit != epochs_.end()) {
+      const Ordered* view = vit->second.get(0);
+      if (view != nullptr && view->kind == Ordered::Kind::kView &&
+          next_seq_ > 0 && view->prev_epoch_end <= next_seq_ - 1) {
+        VDEP_ASSERT_MSG(view->prev_epoch_end == next_seq_ - 1,
+                        "delivered past declared epoch end");
+        ++current_epoch_;
+        next_seq_ = 0;
+        continue;
+      }
     }
     break;
   }
@@ -137,16 +137,19 @@ std::vector<Ordered> GroupReceiveBuffer::take_deliverable() {
 
 std::vector<OrdAck> GroupReceiveBuffer::current_acks(NodeId self) const {
   std::vector<OrdAck> out;
-  for (const auto& [epoch, count] : contiguous_count_) {
-    if (count > 0) out.push_back(OrdAck{self, group_, epoch, count - 1});
+  for (const auto& [epoch, eb] : epochs_) {
+    if (eb.contiguous > 0) out.push_back(OrdAck{self, group_, epoch, eb.contiguous - 1});
   }
   return out;
 }
 
 std::vector<Ordered> GroupReceiveBuffer::snapshot_buffered() const {
   std::vector<Ordered> out;
-  out.reserve(buffer_.size());
-  for (const auto& [key, msg] : buffer_) out.push_back(msg);
+  for (const auto& [epoch, eb] : epochs_) {
+    for (const auto& slot : eb.ring) {
+      if (slot) out.push_back(*slot);
+    }
+  }
   return out;
 }
 

@@ -8,11 +8,18 @@
 // and the next view can be installed, and retains messages until they are
 // stable so a new leader can rebuild the stream from the union of member
 // buffers after a takeover.
+//
+// Storage is a seq-indexed ring per epoch: slot (seq - base) holds the
+// message, so duplicate detection, the contiguity walk and the delivery
+// cursor are all O(1) per message, and garbage collection is an amortized
+// O(1) pop from the ring front — the leader's stream is dense in seq, which
+// a comparison-ordered map paid node allocations and log-n lookups to
+// rediscover on every offer.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "gcs/message.hpp"
@@ -56,14 +63,30 @@ class GroupReceiveBuffer {
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
 
  private:
-  [[nodiscard]] bool is_duplicate(const Ordered& msg) const;
-  [[nodiscard]] std::uint64_t contiguous_seq(std::uint64_t epoch) const;
+  // One epoch's receive state. The ring holds seqs [base, base + ring.size())
+  // with holes for gaps; base only advances over messages that are both
+  // delivered and stable, so everything below base has left the buffer for
+  // good and a seq below `contiguous` has been seen before (contiguous never
+  // decreases and base <= contiguous always).
+  struct EpochBuf {
+    std::uint64_t base = 0;        // seq of ring.front(); GC floor
+    std::uint64_t contiguous = 0;  // seqs [0, contiguous) all received
+    std::uint64_t stable = 0;      // stability watermark (count)
+    std::deque<std::optional<Ordered>> ring;
+
+    [[nodiscard]] const Ordered* get(std::uint64_t seq) const {
+      if (seq < base) return nullptr;  // delivered and collected
+      const std::size_t idx = seq - base;
+      if (idx >= ring.size() || !ring[idx]) return nullptr;
+      return &*ring[idx];
+    }
+  };
+
   // Epochs below this were never tracked here (we joined later); offers for
   // them are duplicates by construction.
   [[nodiscard]] std::uint64_t anchor_floor() const {
     return anchored_ ? anchor_epoch_ : 0;
   }
-  void extend_contiguity(std::uint64_t epoch);
   void garbage_collect(std::uint64_t epoch);
 
   GroupId group_;
@@ -75,14 +98,10 @@ class GroupReceiveBuffer {
   std::uint64_t next_seq_ = 0;
   std::optional<View> installed_view_;
 
-  // Message store, retained until stable AND delivered.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, Ordered> buffer_;
-  // Per epoch: count of contiguously received messages starting at seq 0.
-  std::map<std::uint64_t, std::uint64_t> contiguous_count_;
-  // Per epoch: received seqs beyond the contiguous prefix.
-  std::map<std::uint64_t, std::set<std::uint64_t>> pending_seqs_;
-  // Per epoch: stability watermark.
-  std::map<std::uint64_t, std::uint64_t> stable_upto_;
+  // Per-epoch receive state. Entries persist after their ring drains (the
+  // watermarks still describe what this daemon has acked, and SyncState
+  // reports them on takeover).
+  std::map<std::uint64_t, EpochBuf> epochs_;
 };
 
 }  // namespace vdep::gcs

@@ -12,13 +12,23 @@ constexpr SimTime kRetransmitTimeout = msec(15);
 
 enum class FrameType : std::uint8_t { kData = 1, kAck = 2, kRaw = 3 };
 
-Bytes encode_frame(FrameType type, std::uint64_t seq,
-                   std::span<const std::uint8_t> inner) {
-  ByteWriter w(inner.size() + 16);
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u64(seq);
-  w.bytes(inner);
-  return std::move(w).take();
+// Same wire layout ByteWriter would produce (u8 type, u64 seq, u32-length-
+// prefixed inner), written into a pooled buffer instead of a fresh one.
+Payload encode_frame(BufferPool& pool, FrameType type, std::uint64_t seq,
+                     std::span<const std::uint8_t> inner) {
+  constexpr std::size_t kHeader = 1 + 8 + 4;
+  auto buf = pool.acquire(kHeader + inner.size());
+  std::uint8_t* p = buf->data();
+  *p++ = static_cast<std::uint8_t>(type);
+  for (std::size_t i = 0; i < 8; ++i) {
+    *p++ = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  const auto len = static_cast<std::uint32_t>(inner.size());
+  for (std::size_t i = 0; i < 4; ++i) {
+    *p++ = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  if (!inner.empty()) std::memcpy(p, inner.data(), inner.size());
+  return Payload(buf, std::span<const std::uint8_t>(buf->data(), buf->size()));
 }
 
 }  // namespace
@@ -47,7 +57,7 @@ void ReliableLink::send(NodeId to, Payload inner, std::size_t payload_bytes) {
   const std::uint64_t seq = peer.next_seq++;
   // The per-peer sequence number forces one splice here, but the resulting
   // frame is shared (not copied) between the retransmit queue and the packet.
-  Payload frame = encode_frame(FrameType::kData, seq, inner);
+  Payload frame = encode_frame(frame_pool_, FrameType::kData, seq, inner);
   const std::size_t wire = net::wire_bytes(payload_bytes, calib::kGcsHeaderBytes) +
                            (inner.size() - payload_bytes);
   peer.unacked[seq] = Unacked{frame, wire};
@@ -56,13 +66,13 @@ void ReliableLink::send(NodeId to, Payload inner, std::size_t payload_bytes) {
 }
 
 void ReliableLink::send_raw(NodeId to, Bytes inner) {
-  Payload frame = encode_frame(FrameType::kRaw, 0, inner);
+  Payload frame = encode_frame(frame_pool_, FrameType::kRaw, 0, inner);
   const std::size_t wire = frame.size();
   transmit(to, std::move(frame), wire, /*counted=*/false);
 }
 
 void ReliableLink::send_ack(NodeId to, std::uint64_t cumulative) {
-  Payload frame = encode_frame(FrameType::kAck, cumulative, {});
+  Payload frame = encode_frame(frame_pool_, FrameType::kAck, cumulative, {});
   const std::size_t wire = frame.size();
   transmit(to, std::move(frame), wire, /*counted=*/false);
 }

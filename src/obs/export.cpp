@@ -9,7 +9,7 @@ namespace vdep::obs {
 
 namespace {
 
-void append_escaped(std::string& out, const std::string& s) {
+void append_escaped(std::string& out, std::string_view s) {
   for (char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -44,11 +44,14 @@ void append_usec(std::string& out, SimTime t) {
 
 std::string to_chrome_trace(const Tracer& tracer) {
   // Deterministic pids: first-appearance order of the process label.
-  std::map<std::string, int> pids;
+  std::map<std::string, int, std::less<>> pids;
   std::vector<const std::string*> pid_names;
-  const auto pid_of = [&](const std::string& proc) {
-    auto [it, inserted] = pids.try_emplace(proc, static_cast<int>(pids.size()) + 1);
-    if (inserted) pid_names.push_back(&it->first);
+  const auto pid_of = [&](std::string_view proc) {
+    auto it = pids.find(proc);
+    if (it == pids.end()) {
+      it = pids.emplace(std::string(proc), static_cast<int>(pids.size()) + 1).first;
+      pid_names.push_back(&it->first);
+    }
     return it->second;
   };
   for (const auto& span : tracer.spans()) pid_of(span.proc);

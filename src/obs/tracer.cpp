@@ -12,9 +12,9 @@ Span Tracer::start_span_slow(std::string_view name, std::string_view category,
   rec.id = spans_.size() + 1;
   rec.trace = parent.valid() ? parent.trace : ++next_trace_;
   rec.parent = parent.valid() ? parent.span : 0;
-  rec.name.assign(name);
-  rec.category.assign(category);
-  rec.proc.assign(proc);
+  rec.name = interner_.intern(name);
+  rec.category = interner_.intern(category);
+  rec.proc = interner_.intern(proc);
   rec.start = clock_();
   rec.end = rec.start;
   spans_.push_back(std::move(rec));

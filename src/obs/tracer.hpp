@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/trace_context.hpp"
+#include "util/arena.hpp"
 #include "util/time.hpp"
 
 namespace vdep::obs {
@@ -124,9 +125,12 @@ class Tracer {
     std::uint64_t trace = 0;
     std::uint64_t id = 0;      // == table index + 1
     std::uint64_t parent = 0;  // 0 = root
-    std::string name;
-    std::string category;
-    std::string proc;  // process/host label ("replica0@srv0")
+    // Interned in the tracer's arena (labels repeat endlessly, so recording
+    // a span allocates nothing for them after warmup); valid for the
+    // tracer's lifetime, including across clear().
+    std::string_view name;
+    std::string_view category;
+    std::string_view proc;  // process/host label ("replica0@srv0")
     SimTime start = kTimeZero;
     SimTime end = kTimeZero;
     bool open = true;
@@ -164,6 +168,7 @@ class Tracer {
   Clock clock_;
   std::size_t capacity_;
   bool enabled_ = false;
+  StringInterner interner_;  // backs SpanRecord name/category/proc
   std::vector<SpanRecord> spans_;
   std::uint64_t dropped_ = 0;
   std::uint64_t next_trace_ = 0;

@@ -7,17 +7,6 @@ namespace vdep::sim {
 Process::Process(Kernel& kernel, ProcessId id, NodeId host, std::string name)
     : kernel_(kernel), id_(id), host_(host), name_(std::move(name)) {}
 
-EventFn Process::guarded(EventFn fn) {
-  const std::uint64_t epoch = epoch_;
-  return [this, epoch, fn = std::move(fn)] {
-    if (alive_ && epoch_ == epoch) fn();
-  };
-}
-
-EventHandle Process::post(SimTime delay, EventFn fn) {
-  return kernel_.post(delay, guarded(std::move(fn)));
-}
-
 void Process::crash() {
   if (!alive_) return;
   log_info(kernel_.now(), "process", name_ + " CRASH");

@@ -32,11 +32,22 @@ class Process {
   [[nodiscard]] SimTime now() const { return kernel_.now(); }
 
   // Wraps `fn` so that it is a no-op unless this process is still alive in
-  // the same incarnation as when the wrapper was created.
-  [[nodiscard]] EventFn guarded(EventFn fn);
+  // the same incarnation as when the wrapper was created. Returns the raw
+  // lambda (not a type-erased EventFn): the guard adds only 16 bytes to the
+  // wrapped callable, so hot-path captures still fit EventClosure's inline
+  // buffer instead of forcing a nested closure-in-closure heap allocation.
+  template <typename F>
+  [[nodiscard]] auto guarded(F&& fn) {
+    return [this, epoch = epoch_, f = std::forward<F>(fn)]() mutable {
+      if (alive_ && epoch_ == epoch) f();
+    };
+  }
 
   // Schedules `fn` guarded by this process's liveness.
-  EventHandle post(SimTime delay, EventFn fn);
+  template <typename F>
+  EventHandle post(SimTime delay, F&& fn) {
+    return kernel_.post(delay, guarded(std::forward<F>(fn)));
+  }
 
   // Kills the process (crash-stop). Idempotent. Fires crash listeners once.
   void crash();

@@ -1,0 +1,119 @@
+// Small-buffer event closure for the simulation hot path.
+//
+// Every simulated action in the repository is a closure scheduled on the
+// kernel; with std::function, any capture beyond two pointers heap-allocates
+// on every schedule. EventClosure stores callables up to kInlineBytes inline
+// (64 bytes covers the daemon/link/replicator hot-path lambdas: a `this`
+// pointer, a liveness guard and a Payload all fit), falling back to the heap
+// only for cold, bulky captures such as loopback copies of whole messages.
+// Move-only: an event fires once, so there is nothing to copy.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace vdep::sim {
+
+class EventClosure {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  EventClosure() = default;
+
+  // Implicit, like std::function: any move-constructible callable. Copyable
+  // callables (e.g. a std::function handed in by cold-path code) still work —
+  // they are moved or copied in once, never copied again.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventClosure> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  EventClosure(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(static_cast<void*>(buf_)) = new Fn(std::forward<F>(fn));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventClosure(EventClosure&& other) noexcept { move_from(other); }
+  EventClosure& operator=(EventClosure&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventClosure(const EventClosure&) = delete;
+  EventClosure& operator=(const EventClosure&) = delete;
+
+  ~EventClosure() { reset(); }
+
+  // Destroys the held callable (releasing captured resources) and empties.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    VDEP_ASSERT_MSG(ops_ != nullptr, "invoking an empty EventClosure");
+    ops_->invoke(buf_);
+  }
+
+  // True when a callable of type Fn is stored inline (no heap allocation).
+  template <typename Fn>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    // Move-constructs the callable at dst from src, then destroys src.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* self) { (*static_cast<Fn*>(self))(); },
+      [](void* src, void* dst) {
+        auto* from = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* self) { static_cast<Fn*>(self)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* self) { (**static_cast<Fn**>(self))(); },
+      [](void* src, void* dst) {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+      [](void* self) { delete *static_cast<Fn**>(self); },
+  };
+
+  void move_from(EventClosure& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace vdep::sim

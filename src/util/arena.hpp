@@ -1,0 +1,75 @@
+// Allocation-recycling helpers for the hot paths: a string interner for the
+// tracer's repeated span labels and a buffer pool for wire frames.
+//
+// Both follow the slot-pool idiom used across the codebase (see
+// sim::detail::EventSlotPool): ownership stays in one arena, hot paths hand
+// out references or recycled slots, and the steady state performs no
+// allocation. Neither is thread-safe — the simulation is single-threaded by
+// design.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace vdep {
+
+// Deduplicating store of immutable strings with stable addresses. Span
+// names, categories and process labels repeat endlessly ("gcs.deliver",
+// "replica0@srv0", ...); interning them turns three string allocations per
+// span record into three pointer-sized views after warmup.
+class StringInterner {
+ public:
+  std::string_view intern(std::string_view s) {
+    auto it = strings_.find(s);
+    if (it == strings_.end()) it = strings_.emplace(s).first;
+    return *it;
+  }
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+ private:
+  // Node-based container: element addresses are stable for the interner's
+  // lifetime, so returned views never dangle. Transparent comparator lets
+  // lookups run on the string_view without constructing a std::string.
+  std::set<std::string, std::less<>> strings_;
+};
+
+// Recycles ref-counted byte buffers for short-lived wire frames. A slot is
+// reusable once every Payload aliasing it has been dropped (use_count back
+// to 1), which restores the "frozen after build" Payload invariant before
+// the buffer is written again.
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_pooled = 64) : max_pooled_(max_pooled) {}
+
+  // A buffer resized to `size`: recycled when an unreferenced slot exists,
+  // freshly allocated (and pooled for next time, up to the cap) otherwise.
+  [[nodiscard]] std::shared_ptr<Bytes> acquire(std::size_t size) {
+    for (std::size_t probes = 0; probes < pool_.size(); ++probes) {
+      cursor_ = cursor_ + 1 < pool_.size() ? cursor_ + 1 : 0;
+      auto& slot = pool_[cursor_];
+      if (slot.use_count() == 1) {
+        slot->resize(size);
+        return slot;
+      }
+    }
+    auto buf = std::make_shared<Bytes>(size);
+    if (pool_.size() < max_pooled_) pool_.push_back(buf);
+    return buf;
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return pool_.size(); }
+
+ private:
+  std::size_t max_pooled_;
+  std::vector<std::shared_ptr<Bytes>> pool_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace vdep

@@ -212,7 +212,7 @@ void check_span_structure(const obs::Tracer& tracer) {
   std::set<std::uint64_t> full_traces;
   std::map<std::uint64_t, std::set<std::string>> names_by_trace;
   for (const auto& span : tracer.spans()) {
-    names_by_trace[span.trace].insert(span.name);
+    names_by_trace[span.trace].insert(std::string(span.name));
   }
   for (const auto& [trace, names] : names_by_trace) {
     if (names.count("client.request") && names.count("coord.send") &&

@@ -1,0 +1,189 @@
+// Edge cases for the timer-wheel EventQueue: cancellation interleavings,
+// handles outliving the queue, generation wraparound in the slot pool, and a
+// property test pinning the wheel's pop order to the reference semantics —
+// a binary heap keyed on (time, insertion sequence).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <random>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace vdep::sim {
+namespace {
+
+TEST(EventQueueEdge, CancelThenPopSkipsOnlyTheCancelled) {
+  EventQueue q;
+  std::vector<int> fired;
+  auto a = q.schedule(SimTime{10}, [&] { fired.push_back(1); });
+  auto b = q.schedule(SimTime{10}, [&] { fired.push_back(2); });
+  auto c = q.schedule(SimTime{10}, [&] { fired.push_back(3); });
+  (void)a;
+  (void)c;
+  b.cancel();
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueEdge, CancelAfterFireIsANoOp) {
+  EventQueue q;
+  int runs = 0;
+  auto h = q.schedule(SimTime{1}, [&] { ++runs; });
+  EXPECT_TRUE(h.active());
+  q.pop().fn();
+  EXPECT_FALSE(h.active());
+  h.cancel();  // already fired: must not disturb the queue
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueEdge, CancelLastPendingEventEmptiesQueue) {
+  EventQueue q;
+  auto h = q.schedule(SimTime{5}, [] {});
+  EXPECT_FALSE(q.empty());
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  h.cancel();  // idempotent: no double decrement
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueEdge, CopiedHandlesShareCancellation) {
+  EventQueue q;
+  auto h = q.schedule(SimTime{5}, [] {});
+  EventHandle copy = h;
+  copy.cancel();
+  EXPECT_FALSE(h.active());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueEdge, NextTimeSkipsCancelledWithoutAdvancingCursor) {
+  EventQueue q;
+  auto near = q.schedule(SimTime{5}, [] {});
+  q.schedule(SimTime{1'000'000}, [] {});  // lands in a coarse wheel level
+  near.cancel();
+  EXPECT_EQ(q.next_time(), SimTime{1'000'000});
+  // The peek must not advance the wheel: scheduling before the peeked time
+  // (but after the last pop) is still legal — run_until depends on this.
+  q.schedule(SimTime{10}, [] {});
+  EXPECT_EQ(q.next_time(), SimTime{10});
+  auto p = q.pop();
+  EXPECT_EQ(p.at, SimTime{10});
+}
+
+TEST(EventQueueEdge, HandleOutlivesQueueSafely) {
+  EventHandle h;
+  {
+    EventQueue q;
+    h = q.schedule(SimTime{42}, [] {});
+    EXPECT_TRUE(h.active());
+  }
+  EXPECT_FALSE(h.active());
+  h.cancel();  // must not crash or touch freed memory
+}
+
+TEST(EventSlotPool, GenerationWraparoundInvalidatesOldHandles) {
+  detail::EventSlotPool pool;
+  const std::uint32_t idx = pool.acquire();
+  pool.slots[idx].gen = 0xFFFFFFFFu;
+  EXPECT_TRUE(pool.current(idx, 0xFFFFFFFFu));
+  pool.retire(idx);  // wraps to 0
+  EXPECT_EQ(pool.slots[idx].gen, 0u);
+  EXPECT_FALSE(pool.current(idx, 0xFFFFFFFFu));
+  const std::uint32_t again = pool.acquire();
+  EXPECT_EQ(again, idx);  // recycled through the free list
+  EXPECT_TRUE(pool.current(again, 0u));
+}
+
+// The wheel must deliver exactly the order a binary heap keyed on
+// (time, insertion sequence) would, under random schedules with same-time
+// ties, huge time jumps (exercising every wheel level), cancellations, and
+// scheduling interleaved with popping.
+TEST(EventQueueDeterminism, MatchesReferenceHeapOrder) {
+  for (std::uint64_t seed : {1ull, 7ull, 1234567ull}) {
+    std::mt19937_64 rng(seed);
+    EventQueue q;
+
+    struct RefEv {
+      std::int64_t at;
+      std::uint64_t seq;
+      int id;
+    };
+    auto later = [](const RefEv& a, const RefEv& b) {
+      return std::tie(a.at, a.seq) > std::tie(b.at, b.seq);
+    };
+    std::priority_queue<RefEv, std::vector<RefEv>, decltype(later)> ref(later);
+    std::vector<EventHandle> handles;
+    std::vector<int> handle_ids;
+    std::set<int> cancelled;
+    std::vector<int> got;
+    std::vector<int> want;
+    std::int64_t floor = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t ref_live = 0;  // scheduled minus fired minus cancelled
+    int next_id = 0;
+
+    auto ref_skip_cancelled = [&] {
+      while (!ref.empty() && cancelled.contains(ref.top().id)) ref.pop();
+    };
+    auto pop_both = [&] {
+      auto popped = q.pop();
+      popped.fn();
+      floor = popped.at.count();
+      ref_skip_cancelled();
+      ASSERT_FALSE(ref.empty());
+      ASSERT_EQ(popped.at.count(), ref.top().at);
+      want.push_back(ref.top().id);
+      ref.pop();
+      --ref_live;
+    };
+
+    for (int step = 0; step < 20000; ++step) {
+      const auto r = rng() % 100;
+      if (r < 55 || q.empty()) {
+        std::int64_t jump = 0;
+        switch (rng() % 4) {
+          case 0: jump = 0; break;                                     // exact tie
+          case 1: jump = static_cast<std::int64_t>(rng() % 4); break;  // near cluster
+          case 2: jump = static_cast<std::int64_t>(rng() % 1000); break;
+          default:  // far future: files into high wheel levels
+            jump = static_cast<std::int64_t>(rng() % (std::uint64_t{1} << 40));
+        }
+        const std::int64_t at = floor + jump;
+        const int id = next_id++;
+        handles.push_back(q.schedule(SimTime{at}, [id, &got] { got.push_back(id); }));
+        handle_ids.push_back(id);
+        ref.push(RefEv{at, seq++, id});
+        ++ref_live;
+      } else if (r < 70 && !handles.empty()) {
+        const auto k = rng() % handles.size();
+        if (handles[k].active()) {
+          handles[k].cancel();
+          cancelled.insert(handle_ids[k]);
+          --ref_live;
+        }
+      } else if (r < 75 && !q.empty()) {
+        ref_skip_cancelled();
+        ASSERT_FALSE(ref.empty());
+        EXPECT_EQ(q.next_time().count(), ref.top().at);
+      } else {
+        pop_both();
+      }
+      ASSERT_EQ(q.size(), ref_live)
+          << "live-count bookkeeping diverged at step " << step;
+    }
+    while (!q.empty()) pop_both();
+    ref_skip_cancelled();
+    EXPECT_TRUE(ref.empty());
+    EXPECT_EQ(got, want) << "pop order diverged for seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace vdep::sim
