@@ -3,8 +3,9 @@
 # results at the repo root: BENCH_substrate.json (substrate components),
 # BENCH_obs.json (observability layer), BENCH_checkpoint.json (incremental
 # checkpointing), BENCH_kernel.json (macro events/sec of the simulation
-# kernel across whole scenarios), then runs the seeded chaos campaign and
-# records BENCH_chaos.json.
+# kernel across whole scenarios), BENCH_shard.json (10k routed clients over
+# a 32-shard fleet), then runs the seeded chaos campaign and records
+# BENCH_chaos.json.
 #
 # Bench hygiene: baselines must never be recorded from a debug build. The
 # bench binaries themselves refuse --benchmark_out when compiled without
@@ -25,7 +26,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
 cmake --build "${build_dir}" -j"$(nproc)" \
   --target micro_substrate --target micro_obs --target micro_checkpoint \
-  --target macro_events --target chaos_runner
+  --target macro_events --target macro_shard --target chaos_runner
 
 # Records one google-benchmark binary into BENCH_<name>.json, refusing to
 # keep the result unless the binary stamped itself as a release build.
@@ -50,6 +51,7 @@ record "${build_dir}/bench/micro_substrate" "${repo_root}/BENCH_substrate.json" 
 record "${build_dir}/bench/micro_obs" "${repo_root}/BENCH_obs.json" "$@"
 record "${build_dir}/bench/micro_checkpoint" "${repo_root}/BENCH_checkpoint.json" "$@"
 record "${build_dir}/bench/macro_events" "${repo_root}/BENCH_kernel.json" "$@"
+record "${build_dir}/bench/macro_shard" "${repo_root}/BENCH_shard.json" "$@"
 
 "${build_dir}/examples/chaos_runner" trials=200 seed=1 \
   out="${repo_root}/BENCH_chaos.json"

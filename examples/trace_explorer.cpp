@@ -14,19 +14,113 @@
 // determinism gate does exactly that and diffs them).
 //
 // Run:  ./trace_explorer [seed=42] [out=trace.json] [txt=]
+//       ./trace_explorer shards=N [shard=K] [out=trace.json]
+//
+// With shards=N the recording comes from a sharded cluster performing an
+// online split; every routed request carries a "shard.route" span noted
+// with its shard id and map epoch, and shard=K narrows the printed span
+// listing to one shard. The default (unsharded) output is untouched — the
+// CI determinism gate diffs it byte-for-byte.
 #include <cstdio>
 #include <string>
 
 #include "harness/scenario.hpp"
 #include "obs/export.hpp"
+#include "shard/cluster.hpp"
 #include "util/config.hpp"
 
 using namespace vdep;
+
+namespace {
+
+// Sharded flight recording: run a routed workload across `shards` groups
+// with one online split, then slice the span table per shard.
+int run_sharded_trace(const Config& cfg, int shards) {
+  const std::string out = cfg.get_str("out", "trace.json");
+  const std::int64_t shard_filter = cfg.get_int("shard", -1);
+
+  shard::ShardedClusterConfig config;
+  config.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  config.shards = shards;
+  config.clients = 2;
+  config.tracing = true;
+  shard::ShardedCluster cluster(config);
+
+  const auto first = cluster.initial_map().entries().front();
+  cluster.kernel().post_at(msec(500), [&] {
+    cluster.split_shard(first.shard,
+                        first.range.lo +
+                            static_cast<std::uint32_t>(first.range.width() / 2),
+                        cluster.config().default_policy);
+  });
+  shard::ShardedCluster::WorkloadConfig wc;
+  wc.ops_per_client = static_cast<int>(cfg.get_int("requests", 100));
+  const auto result = cluster.run_workload(wc);
+  for (int i = 0; i < 10 && !cluster.migration().idle(); ++i) cluster.drain(msec(500));
+  cluster.drain();
+
+  const obs::Tracer& tracer = cluster.kernel().tracer();
+  std::printf("trace_explorer — sharded routing flight recording (%d shards)\n",
+              shards);
+  std::printf("  ops completed        %llu\n",
+              static_cast<unsigned long long>(result.completed));
+  std::printf("  spans recorded       %llu (dropped %llu)\n",
+              static_cast<unsigned long long>(tracer.spans_recorded()),
+              static_cast<unsigned long long>(tracer.spans_dropped()));
+
+  // Per-shard span census from the "shard" note on shard.route spans; with
+  // shard=K also list that shard's individual routes.
+  std::map<std::string, std::uint64_t> per_shard;
+  for (const auto& span : tracer.spans()) {
+    if (span.name != "shard.route") continue;
+    for (const auto& [key, value] : span.notes) {
+      if (key == "shard") ++per_shard[value];
+    }
+  }
+  for (const auto& [id, count] : per_shard) {
+    std::printf("  shard %-4s %6llu routed spans\n", id.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  if (shard_filter >= 0) {
+    const std::string wanted = std::to_string(shard_filter);
+    std::printf("  --- spans for shard %s ---\n", wanted.c_str());
+    int listed = 0;
+    for (const auto& span : tracer.spans()) {
+      if (span.name != "shard.route" || listed >= 40) continue;
+      std::string epoch, op;
+      bool match = false;
+      for (const auto& [key, value] : span.notes) {
+        if (key == "shard" && value == wanted) match = true;
+        if (key == "epoch") epoch = value;
+        if (key == "op") op = value;
+      }
+      if (!match) continue;
+      std::printf("  [%9lld ns] %-8s epoch=%s %s\n",
+                  static_cast<long long>(span.start.count()), op.c_str(),
+                  epoch.c_str(), std::string(span.proc).c_str());
+      ++listed;
+    }
+  }
+
+  const std::string json = obs::to_chrome_trace(tracer);
+  if (!obs::write_file(out, json)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("  wrote %s (%zu bytes) — load in chrome://tracing\n", out.c_str(),
+              json.size());
+  return result.all_done ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
   const std::string out = cfg.get_str("out", "trace.json");
   const std::string txt = cfg.get_str("txt", "");
+
+  const int shards = static_cast<int>(cfg.get_int("shards", 1));
+  if (shards > 1) return run_sharded_trace(cfg, shards);
 
   // Warm-passive, 3 replicas, tracing on. The primary dies one second in,
   // so the recording contains: steady-state request trees, the view change,

@@ -1,55 +1,176 @@
 #!/usr/bin/env python3
-"""Fails when a benchmark counter regressed beyond a threshold vs a baseline.
+"""Fails when recorded benchmark baselines regress beyond their allowance.
 
-Compares google-benchmark JSON outputs by benchmark name. Only benchmarks
-present in both files are compared; higher counter values are better (the
-counters gated here are rates, e.g. events_per_sec).
+Two modes:
 
-Usage:
+Legacy single-counter mode (kept for ad-hoc use):
   check_bench_regression.py BASELINE.json CURRENT.json \
       --counter events_per_sec [--max-regression 0.20]
+
+Gate-file mode — one gate per recorded BENCH_*.json baseline, each with its
+own metric allowlist and thresholds (scripts/bench_gates.json):
+  check_bench_regression.py --gate-file scripts/bench_gates.json \
+      --baseline-dir . --current-dir /tmp/bench
+  check_bench_regression.py --gate-file scripts/bench_gates.json --list-gates
+
+A gate entry looks like:
+  {"baseline": "BENCH_kernel.json",        # file name in both dirs
+   "binary": "bench/macro_events",         # producer (ci.sh runs it)
+   "filter": "BM_MacroKernelChurn",        # --benchmark_filter, optional
+   "kind": "gbench",                       # or "chaos" (flat JSON report)
+   "metrics": {"events_per_sec": {"direction": "higher",
+                                  "max_regression": 0.20}}}
+
+"higher" metrics fail when current < baseline * (1 - max_regression);
+"lower" metrics (times) fail when current > baseline * (1 + max_regression).
+For "gbench" gates the metric is read from each benchmark entry (counters and
+the built-in real_time/cpu_time); for "chaos" gates the metric name is a
+dotted path into the flat report (e.g. "recovery_ms.mean"). Only benchmarks
+present in both files are compared; a metric missing from both sides of a
+gate is an error (the allowlist names something the benchmark no longer
+emits).
 """
 import argparse
 import json
+import os
 import sys
 
 
-def load_counters(path, counter):
+def load_json(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def dotted(doc, path):
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def gbench_values(doc, metric):
     out = {}
     for bench in doc.get("benchmarks", []):
-        if counter in bench:
-            out[bench["name"]] = float(bench[counter])
+        if metric in bench and isinstance(bench[metric], (int, float)):
+            out[bench["name"]] = float(bench[metric])
     return out
+
+
+def compare(name, metric, direction, allowance, base, cur):
+    """Returns (ok, line) for one metric comparison."""
+    ratio = cur / base if base != 0 else float("inf")
+    if direction == "lower":
+        ok = cur <= base * (1.0 + allowance)
+    else:
+        ok = cur >= base * (1.0 - allowance)
+    verdict = "OK" if ok else "REGRESSION"
+    return ok, (f"{name}: {metric} {base:.4g} -> {cur:.4g} "
+                f"({ratio:.2f}x baseline, {direction} is better) {verdict}")
+
+
+def run_gate(gate, baseline_dir, current_dir):
+    """Returns (ok, skipped) for one gate."""
+    name = gate["baseline"]
+    base_path = os.path.join(baseline_dir, name)
+    cur_path = os.path.join(current_dir, name)
+    if not os.path.exists(base_path):
+        print(f"{name}: no recorded baseline; skipping")
+        return True, True
+    if not os.path.exists(cur_path):
+        print(f"error: {name}: baseline exists but no current measurement "
+              f"at {cur_path}", file=sys.stderr)
+        return False, False
+
+    base_doc = load_json(base_path)
+    cur_doc = load_json(cur_path)
+    kind = gate.get("kind", "gbench")
+    ok = True
+    for metric, spec in gate["metrics"].items():
+        direction = spec.get("direction", "higher")
+        allowance = float(spec.get("max_regression", 0.20))
+        if kind == "chaos":
+            base_v = dotted(base_doc, metric)
+            cur_v = dotted(cur_doc, metric)
+            if base_v is None or cur_v is None:
+                print(f"error: {name}: metric {metric!r} missing "
+                      f"(baseline: {base_v}, current: {cur_v})", file=sys.stderr)
+                ok = False
+                continue
+            good, line = compare(name, metric, direction, allowance, base_v, cur_v)
+            print(line)
+            ok = ok and good
+        else:
+            base_vals = gbench_values(base_doc, metric)
+            cur_vals = gbench_values(cur_doc, metric)
+            common = sorted(set(base_vals) & set(cur_vals))
+            if not common:
+                print(f"error: {name}: no common benchmarks carry metric "
+                      f"{metric!r}", file=sys.stderr)
+                ok = False
+                continue
+            for bench in common:
+                good, line = compare(f"{name}:{bench}", metric, direction,
+                                     allowance, base_vals[bench], cur_vals[bench])
+                print(line)
+                ok = ok and good
+    return ok, False
 
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--counter", required=True)
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("--counter")
     ap.add_argument("--max-regression", type=float, default=0.20,
                     help="fail when current < baseline * (1 - this)")
+    ap.add_argument("--gate-file", help="scripts/bench_gates.json")
+    ap.add_argument("--baseline-dir", default=".")
+    ap.add_argument("--current-dir")
+    ap.add_argument("--list-gates", action="store_true",
+                    help="print baseline<TAB>binary<TAB>filter<TAB>kind per gate")
     args = ap.parse_args()
 
-    base = load_counters(args.baseline, args.counter)
-    cur = load_counters(args.current, args.counter)
+    if args.gate_file:
+        gates = load_json(args.gate_file)["gates"]
+        if args.list_gates:
+            for g in gates:
+                print(f"{g['baseline']}\t{g.get('binary', '')}\t"
+                      f"{g.get('filter', '')}\t{g.get('kind', 'gbench')}")
+            return 0
+        if not args.current_dir:
+            print("error: --current-dir is required with --gate-file",
+                  file=sys.stderr)
+            return 2
+        all_ok = True
+        for gate in gates:
+            ok, _ = run_gate(gate, args.baseline_dir, args.current_dir)
+            all_ok = all_ok and ok
+        if not all_ok:
+            print("error: benchmark baselines regressed beyond allowance",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    # Legacy mode.
+    if not (args.baseline and args.current and args.counter):
+        print("error: BASELINE CURRENT --counter NAME (or --gate-file)",
+              file=sys.stderr)
+        return 2
+    base = gbench_values(load_json(args.baseline), args.counter)
+    cur = gbench_values(load_json(args.current), args.counter)
     common = sorted(set(base) & set(cur))
     if not common:
         print(f"error: no common benchmarks with counter {args.counter!r} "
               f"between {args.baseline} and {args.current}", file=sys.stderr)
         return 2
-
     failed = False
     for name in common:
-        ratio = cur[name] / base[name]
-        verdict = "OK"
-        if ratio < 1.0 - args.max_regression:
-            verdict = "REGRESSION"
-            failed = True
-        print(f"{name}: {args.counter} {base[name]:.3g} -> {cur[name]:.3g} "
-              f"({ratio:.2f}x baseline) {verdict}")
+        ok, line = compare(name, args.counter, "higher", args.max_regression,
+                           base[name], cur[name])
+        print(line)
+        failed = failed or not ok
     if failed:
         print(f"error: {args.counter} regressed more than "
               f"{args.max_regression:.0%} vs baseline", file=sys.stderr)

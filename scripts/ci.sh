@@ -24,35 +24,69 @@ cmake -B "${repo_root}/build" -S "${repo_root}"
 cmake --build "${repo_root}/build" -j"${jobs}"
 ctest --test-dir "${repo_root}/build" -L tier1 --output-on-failure -j"${jobs}"
 
+echo "== shard quick gate =="
+# The sharded scale-out layer has its own label; -LE chaos keeps the long
+# shard campaign out of the quick gate (scripts/ci.sh runs it below).
+ctest --test-dir "${repo_root}/build" -L shard -LE chaos --output-on-failure -j"${jobs}"
+
+echo "== kv_cluster multi-shard smoke =="
+cmake --build "${repo_root}/build" -j"${jobs}" --target kv_cluster
+"${repo_root}/build/examples/kv_cluster" --shards 4 > /dev/null
+echo "kv_cluster --shards 4 runs clean"
+
 echo "== checkpoint micro-benchmark smoke run =="
 cmake --build "${repo_root}/build" -j"${jobs}" --target micro_checkpoint
 "${repo_root}/build/bench/micro_checkpoint" --benchmark_min_time=0.001 > /dev/null
 echo "micro_checkpoint runs clean"
 
-echo "== kernel macro-benchmark smoke + regression gate =="
-# Smoke: the whole-scenario events/sec benchmark must run on the default
-# build. The regression gate then re-measures the kernel-churn workload in
-# Release and fails if events/sec fell more than 20% below the recorded
-# BENCH_kernel.json baseline (kernel hot-path regressions land here first).
-cmake --build "${repo_root}/build" -j"${jobs}" --target macro_events
+echo "== macro-benchmark smoke runs =="
+# The whole-scenario events/sec benchmark and the sharded-fleet benchmark
+# must run on the default build (small configurations; the recorded
+# baselines are measured in Release below).
+cmake --build "${repo_root}/build" -j"${jobs}" --target macro_events --target macro_shard
 "${repo_root}/build/bench/macro_events" \
   --benchmark_filter='BM_MacroKernelChurn' --benchmark_min_time=0.01 > /dev/null
-echo "macro_events runs clean"
-if [[ -f "${repo_root}/BENCH_kernel.json" ]]; then
+"${repo_root}/build/bench/macro_shard" \
+  --benchmark_filter='BM_MacroShardFleet/8/1000' --benchmark_min_time=0.01 > /dev/null
+echo "macro_events and macro_shard run clean"
+
+echo "== benchmark regression gates (scripts/bench_gates.json) =="
+# Re-measures every gated binary in Release and compares each recorded
+# BENCH_*.json baseline against the fresh numbers, with the per-file metric
+# allowlists and allowances in scripts/bench_gates.json. Gates whose
+# baseline file is absent are skipped.
+gate_file="${repo_root}/scripts/bench_gates.json"
+need_bench=0
+while IFS=$'\t' read -r baseline binary filter kind; do
+  [[ -f "${repo_root}/${baseline}" ]] && need_bench=1
+done < <(python3 "${repo_root}/scripts/check_bench_regression.py" \
+           --gate-file "${gate_file}" --list-gates)
+if [[ "${need_bench}" -eq 1 ]]; then
   cmake -B "${repo_root}/build-bench" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=Release -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
-  cmake --build "${repo_root}/build-bench" -j"${jobs}" --target macro_events
   bench_dir="$(mktemp -d)"
-  "${repo_root}/build-bench/bench/macro_events" \
-    --benchmark_filter='BM_MacroKernelChurn' \
-    --benchmark_format=json --benchmark_out="${bench_dir}/kernel.json" \
-    --benchmark_out_format=json > /dev/null
+  while IFS=$'\t' read -r baseline binary filter kind; do
+    [[ -f "${repo_root}/${baseline}" ]] || continue
+    cmake --build "${repo_root}/build-bench" -j"${jobs}" \
+      --target "$(basename "${binary}")"
+    if [[ "${kind}" == "chaos" ]]; then
+      "${repo_root}/build-bench/${binary}" trials=200 seed=1 \
+        out="${bench_dir}/${baseline}" > /dev/null
+    else
+      bench_args=(--benchmark_format=json
+                  --benchmark_out="${bench_dir}/${baseline}"
+                  --benchmark_out_format=json)
+      [[ -n "${filter}" ]] && bench_args+=("--benchmark_filter=${filter}")
+      "${repo_root}/build-bench/${binary}" "${bench_args[@]}" > /dev/null
+    fi
+  done < <(python3 "${repo_root}/scripts/check_bench_regression.py" \
+             --gate-file "${gate_file}" --list-gates)
   python3 "${repo_root}/scripts/check_bench_regression.py" \
-    "${repo_root}/BENCH_kernel.json" "${bench_dir}/kernel.json" \
-    --counter events_per_sec --max-regression 0.20
+    --gate-file "${gate_file}" \
+    --baseline-dir "${repo_root}" --current-dir "${bench_dir}"
   rm -rf "${bench_dir}"
 else
-  echo "no BENCH_kernel.json baseline; skipping regression gate"
+  echo "no recorded baselines; skipping regression gates"
 fi
 
 echo "== trace determinism gate =="

@@ -59,6 +59,10 @@ class KvStoreServant final : public replication::Checkpointable {
   // Direct read of the stored value (oracles inspect replica state without
   // going through the request path).
   [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
+  // Whole-store view, for range extraction (shard donation) and audits.
+  [[nodiscard]] const std::map<std::string, std::string>& items() const {
+    return data_;
+  }
 
   // Observer called after every state-mutating execution with (operation,
   // key) — the chaos engine's history recorder.

@@ -5,6 +5,7 @@
 
 #include "app/kv_store.hpp"
 #include "chaos/history.hpp"
+#include "chaos/shard_trial.hpp"
 #include "harness/scenario.hpp"
 #include "obs/export.hpp"
 #include "util/assert.hpp"
@@ -69,6 +70,11 @@ TrialResult run_trial(const TrialConfig& config) {
 }
 
 TrialResult run_trial(const TrialConfig& config, const net::FaultPlan& plan) {
+  // Sharded trials run on their own multi-group cluster; their fault plan
+  // regenerates deterministically from the seed (the explicit-plan path is
+  // the single-group shrinker's entry point).
+  if (config.shards > 1) return run_shard_trial(config);
+
   const bool generate = plan.empty() && config.faults.total_actions() > 0;
 
   auto context = std::make_unique<TrialContext>();
@@ -228,6 +234,12 @@ TrialConfig campaign_trial_config(const CampaignConfig& config, int index) {
                                     config.replica_counts.size() *
                                     config.checkpoint_frequencies.size())) %
                               config.anchor_intervals.size()];
+  trial.shards =
+      config.shard_counts[(i / (config.styles.size() *
+                                config.replica_counts.size() *
+                                config.checkpoint_frequencies.size() *
+                                config.anchor_intervals.size())) %
+                          config.shard_counts.size()];
   return trial;
 }
 
@@ -257,6 +269,15 @@ CampaignResult run_campaign(
       const TrialResult replay = run_trial(replay_config, trial.plan);
       result.failures.push_back({i, trial_config, trial.plan,
                                  trial.verdict.failures, replay.flight_recording});
+    }
+    if (trial_config.shards > 1) {
+      result.metrics.add("chaos.shard.trials");
+      result.metrics.observe(
+          "chaos.shard.migrations",
+          static_cast<double>(trial.shard_observation.migrations_committed));
+      result.metrics.observe(
+          "chaos.shard.final_epoch",
+          static_cast<double>(trial.shard_observation.final_map.epoch()));
     }
     result.metrics.observe("chaos.recovery_ms", trial.recovery_ms);
     result.metrics.observe("chaos.completed_ops",

@@ -54,12 +54,22 @@ struct TrialConfig {
   // the same (seed, config) reproduces the recording byte for byte, which is
   // how failing campaign trials get their post-mortem recordings.
   bool record_spans = false;
+
+  // Sharded scale-out trials: shards > 1 builds a shard::ShardedCluster
+  // (directory group + one replica group per shard, routed clients) instead
+  // of a single-group Scenario, performs `splits` online shard splits while
+  // the workload runs, and injects the fault budget *inside* the split
+  // windows. Judged by the shard oracles (ownership + migration integrity)
+  // plus bounded recovery; see run_shard_trial.
+  int shards = 1;
+  int splits = 2;
 };
 
 struct TrialResult {
   net::FaultPlan plan;
   Verdict verdict;
   TrialObservation observation;
+  ShardObservation shard_observation;  // populated when shards > 1
   SimTime finished_at = kTimeZero;
   SimTime last_fault_end = kTimeZero;
   double recovery_ms = 0.0;  // last fault effect -> workload completion
@@ -97,6 +107,9 @@ struct CampaignConfig {
   // Outermost sweep dimension (so adding it kept the configs at existing
   // sweep positions unchanged): full-anchor cadence for delta checkpoints.
   std::vector<std::uint32_t> anchor_intervals = {1, 4};
+  // New outermost dimension (same preservation rule): shard counts. 1 =
+  // classic single-group trial; > 1 = sharded trial with online splits.
+  std::vector<int> shard_counts = {1};
   TrialConfig base;  // everything not swept
 };
 

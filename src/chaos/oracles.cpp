@@ -178,4 +178,197 @@ Verdict check_all(const TrialObservation& obs) {
   return v;
 }
 
+namespace {
+
+std::string group_tag(GroupId group) {
+  return "group" + std::to_string(group.value());
+}
+
+// True iff `target` is fully covered by the (sorted, disjoint) `owned` set.
+bool ranges_cover(const std::vector<shard::KeyRange>& owned,
+                  const shard::KeyRange& target) {
+  std::uint64_t need = target.lo;
+  for (const auto& r : owned) {
+    if (r.hi < need || r.lo > target.hi) continue;
+    if (r.lo > need) return false;  // gap before `need`
+    need = static_cast<std::uint64_t>(r.hi) + 1;
+    if (need > target.hi) return true;
+  }
+  return need > target.hi;
+}
+
+bool ranges_overlap(const shard::KeyRange& a, const shard::KeyRange& b) {
+  return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+}  // namespace
+
+Verdict check_shard_ownership(const ShardObservation& obs) {
+  Verdict v;
+  std::string why;
+
+  // Directory history: every committed map is a valid full partition of the
+  // key space, and the epochs advance by exactly one per commit.
+  std::uint64_t expected_epoch = obs.initial_epoch;
+  for (const auto& map : obs.committed_maps) {
+    ++expected_epoch;
+    if (map.epoch() != expected_epoch) {
+      v.failures.push_back("shard-ownership: committed epoch " +
+                           std::to_string(map.epoch()) + " where " +
+                           std::to_string(expected_epoch) + " was expected");
+    }
+    if (!map.validate(&why)) {
+      v.failures.push_back("shard-ownership: committed map epoch " +
+                           std::to_string(map.epoch()) + " invalid: " + why);
+    }
+  }
+  if (!obs.final_map.validate(&why)) {
+    v.failures.push_back("shard-ownership: final map invalid: " + why);
+  }
+  if (obs.final_map.epoch() != expected_epoch) {
+    v.failures.push_back("shard-ownership: directory epoch " +
+                         std::to_string(obs.final_map.epoch()) +
+                         " != last committed epoch " +
+                         std::to_string(expected_epoch));
+  }
+  if (obs.migrations_attempted != obs.migrations_committed) {
+    v.failures.push_back(
+        "shard-ownership: " +
+        std::to_string(obs.migrations_attempted - obs.migrations_committed) +
+        " migration(s) did not commit");
+  }
+
+  // Serving state vs the final map. Within one epoch a key has exactly one
+  // serving group: live groups' owned ranges must be pairwise disjoint and
+  // coincide with the final map's assignment.
+  for (const auto& g : obs.groups) {
+    if (!g.any_live) continue;
+    if (g.frozen) {
+      v.failures.push_back("shard-ownership: " + group_tag(g.group) +
+                           " still frozen after the trial drained");
+    }
+    const auto assigned = obs.final_map.ranges_of(g.group);
+    for (const auto& r : g.owned) {
+      if (!ranges_cover(assigned, r)) {
+        v.failures.push_back("shard-ownership: " + group_tag(g.group) +
+                             " serves " + r.str() +
+                             " which the final map does not assign to it");
+      }
+    }
+    for (const auto& r : assigned) {
+      if (!ranges_cover(g.owned, r)) {
+        v.failures.push_back("shard-ownership: " + group_tag(g.group) +
+                             " does not serve assigned range " + r.str());
+      }
+    }
+  }
+  for (std::size_t a = 0; a < obs.groups.size(); ++a) {
+    if (!obs.groups[a].any_live) continue;
+    for (std::size_t b = a + 1; b < obs.groups.size(); ++b) {
+      if (!obs.groups[b].any_live) continue;
+      for (const auto& ra : obs.groups[a].owned) {
+        for (const auto& rb : obs.groups[b].owned) {
+          if (ranges_overlap(ra, rb)) {
+            v.failures.push_back(
+                "shard-ownership: " + ra.str() + " served by both " +
+                group_tag(obs.groups[a].group) + " and " +
+                group_tag(obs.groups[b].group) + " in epoch " +
+                std::to_string(obs.final_map.epoch()));
+          }
+        }
+      }
+    }
+  }
+  return v;
+}
+
+Verdict check_shard_migration_integrity(const TrialObservation& obs,
+                                        const ShardObservation& shard_obs) {
+  Verdict v;
+
+  // What each client issued / saw acknowledged, per log key.
+  std::map<std::string, std::set<std::string>> issued;
+  std::map<std::string, std::vector<std::string>> acked;
+  for (const auto& op : obs.history) {
+    if (op.op != "append") continue;
+    issued[op.key].insert(op.token);
+    if (op.completed_at && op.ok) acked[op.key].push_back(op.token);
+  }
+
+  // Token census across every group: a split must move each token exactly
+  // once, never duplicate it, and leave it on the group the final map owns
+  // the key on.
+  for (const auto& [key, tokens] : issued) {
+    const shard::ShardEntry* owner_entry = shard_obs.final_map.lookup_key(key);
+    const GroupId owner =
+        owner_entry != nullptr ? owner_entry->group : GroupId{0};
+    bool owner_live = false;
+    std::map<std::string, int> found;  // token -> occurrences across groups
+    for (const auto& g : shard_obs.groups) {
+      if (!g.any_live) continue;
+      if (g.group == owner) owner_live = true;
+      const auto it = g.logs.find(key);
+      if (it == g.logs.end()) continue;
+      std::set<std::string> in_this_group;
+      for (const auto& token : parse_tokens(it->second)) {
+        if (!tokens.contains(token)) {
+          v.failures.push_back("shard-integrity: " + group_tag(g.group) + " " +
+                               key + " holds token " + token +
+                               " that was never issued");
+          continue;
+        }
+        if (!in_this_group.insert(token).second) {
+          v.failures.push_back("shard-integrity: " + group_tag(g.group) + " " +
+                               key + " executed " + token + " twice");
+        }
+        ++found[token];
+      }
+      if (g.group != owner && !in_this_group.empty()) {
+        v.failures.push_back("shard-integrity: " + group_tag(g.group) +
+                             " still holds " + key +
+                             " which the final map assigns to " +
+                             group_tag(owner));
+      }
+    }
+    for (const auto& [token, count] : found) {
+      if (count > 1) {
+        v.failures.push_back("shard-integrity: token " + token +
+                             " duplicated across " + std::to_string(count) +
+                             " groups");
+      }
+    }
+    if (owner_live) {
+      for (const auto& token : acked[key]) {
+        if (found.find(token) == found.end()) {
+          v.failures.push_back("shard-integrity: acked " + token +
+                               " lost (missing from every group)");
+        }
+      }
+    }
+  }
+
+  // Acked puts: the key must exist at the owner and nowhere else.
+  std::set<std::string> acked_puts;
+  for (const auto& op : obs.history) {
+    if (op.op == "put" && op.completed_at && op.ok) acked_puts.insert(op.key);
+  }
+  for (const auto& key : acked_puts) {
+    const shard::ShardEntry* owner_entry = shard_obs.final_map.lookup_key(key);
+    if (owner_entry == nullptr) continue;
+    for (const auto& g : shard_obs.groups) {
+      if (!g.any_live) continue;
+      const bool present = g.keys.contains(key);
+      if (g.group == owner_entry->group && !present) {
+        v.failures.push_back("shard-integrity: acked put key " + key +
+                             " lost from owner " + group_tag(g.group));
+      }
+      if (g.group != owner_entry->group && present) {
+        v.failures.push_back("shard-integrity: key " + key +
+                             " present on non-owner " + group_tag(g.group));
+      }
+    }
+  }
+  return v;
+}
+
 }  // namespace vdep::chaos

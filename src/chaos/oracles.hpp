@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "chaos/history.hpp"
+#include "shard/map.hpp"
 #include "util/ids.hpp"
 
 namespace vdep::chaos {
@@ -75,5 +76,39 @@ struct Verdict {
 
 // All of the above, merged.
 [[nodiscard]] Verdict check_all(const TrialObservation& obs);
+
+// --- sharded trials ------------------------------------------------------------
+//
+// What a multi-group trial additionally observes: the directory's committed
+// map history and, per data group, the serving state a live replica reports.
+// Plain data again — collected after the kernel drains.
+struct ShardObservation {
+  struct GroupState {
+    GroupId group;
+    bool any_live = false;  // at least one replica serving
+    bool frozen = false;    // a live replica still holds a frozen range
+    std::vector<shard::KeyRange> owned;        // serving ranges (live replica)
+    std::map<std::string, std::string> logs;   // audited log keys present
+    std::set<std::string> keys;                // every key in the store
+  };
+
+  std::uint64_t initial_epoch = 1;
+  shard::ShardMap final_map;                    // directory truth at the end
+  std::vector<shard::ShardMap> committed_maps;  // successful migrations, in order
+  std::vector<GroupState> groups;
+  int migrations_attempted = 0;
+  int migrations_committed = 0;
+};
+
+// No key is served by two shards in the same epoch: every committed map
+// validates and continues the epoch chain, and the final serving ownership
+// (live groups' owned ranges) is disjoint and matches the final map exactly.
+[[nodiscard]] Verdict check_shard_ownership(const ShardObservation& obs);
+
+// No key is lost or duplicated across a split: every acknowledged append
+// token appears exactly once across ALL groups — on the group the final map
+// assigns its key to — and acknowledged puts are present at (only) the owner.
+[[nodiscard]] Verdict check_shard_migration_integrity(
+    const TrialObservation& obs, const ShardObservation& shard_obs);
 
 }  // namespace vdep::chaos

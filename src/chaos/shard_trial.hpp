@@ -1,0 +1,21 @@
+// Sharded chaos trials: the multi-group analogue of run_trial.
+//
+// One shard trial = build a shard::ShardedCluster (replicated directory +
+// one replica group per shard + routed clients), run a recorded workload
+// through the routers, perform `splits` online shard splits while the
+// clients are in flight, and inject the fault budget *inside* the split
+// windows — crashes and partitions land exactly when a range is frozen,
+// donated or being installed. Judged with the shard oracles (ownership and
+// migration integrity) plus the bounded-recovery oracle.
+//
+// Deterministic in (seed, config): the split schedule, the fault plan and
+// every workload coin-flip derive from forked streams of the trial seed.
+#pragma once
+
+#include "chaos/campaign.hpp"
+
+namespace vdep::chaos {
+
+[[nodiscard]] TrialResult run_shard_trial(const TrialConfig& config);
+
+}  // namespace vdep::chaos

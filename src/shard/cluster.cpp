@@ -1,0 +1,587 @@
+#include "shard/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace vdep::shard {
+
+namespace {
+constexpr std::uint64_t kDirectoryGroupValue = 1;
+constexpr std::uint64_t kFirstDataGroupValue = 10;
+constexpr ObjectId kObjectKey{1};
+constexpr SimTime kBootStagger = msec(1);
+constexpr std::uint64_t kFirstDaemonPid = 100;
+constexpr std::uint64_t kMigratorPid = 4000;
+constexpr std::uint64_t kFirstClientPid = 5000;
+
+replication::ReplicationStyle style_of(const ShardPolicy& policy) {
+  return static_cast<replication::ReplicationStyle>(policy.style);
+}
+}  // namespace
+
+// One replica of one group (directory or shard), same shape as a
+// harness::Scenario replica: process + servant + POA + server ORB +
+// replicator.
+struct ShardedCluster::ReplicaNode {
+  ReplicaNode(ShardedCluster& owner, int index, NodeId host, ProcessId pid,
+              std::string name, std::unique_ptr<replication::Checkpointable> app)
+      : index(index),
+        process(owner.kernel(), pid, host, std::move(name)),
+        servant(std::move(app)),
+        orb(owner.network(), process, poa) {
+    poa.activate(kObjectKey, *servant);
+  }
+
+  int index;
+  sim::Process process;
+  std::unique_ptr<replication::Checkpointable> servant;
+  orb::Poa poa;
+  orb::ServerOrb orb;
+  std::unique_ptr<replication::Replicator> replicator;
+  bool started = false;
+  bool recovery_hooked = false;
+  std::uint64_t replicator_incarnation = 0;
+
+  [[nodiscard]] bool live() const {
+    return started && process.alive() && replicator != nullptr &&
+           !replicator->stopped();
+  }
+};
+
+// Adapts one replica group to the knob layer's actuation interface, so each
+// shard's policy can be tuned independently.
+struct ShardedCluster::GroupBundle final : knobs::ReplicaGroupController {
+  GroupBundle(ShardedCluster& owner, GroupId id, ShardPolicy policy,
+              bool is_directory)
+      : owner(owner), id(id), policy(policy), is_directory(is_directory) {}
+
+  ShardedCluster& owner;
+  GroupId id;
+  ShardPolicy policy;
+  bool is_directory;
+  SimTime ckpt_interval{calib::kDefaultCheckpointInterval};
+  std::vector<std::unique_ptr<ReplicaNode>> nodes;
+
+  [[nodiscard]] ReplicaNode& first_live() {
+    for (auto& n : nodes) {
+      if (n->live()) return *n;
+    }
+    throw std::runtime_error("group " + std::to_string(id.value()) +
+                             ": no live replica");
+  }
+
+  [[nodiscard]] int live_count() const {
+    int n = 0;
+    for (const auto& node : nodes) {
+      if (node->live()) ++n;
+    }
+    return n;
+  }
+
+  // --- knobs::ReplicaGroupController ---------------------------------------
+  void set_style(replication::ReplicationStyle style) override {
+    policy.style = static_cast<std::uint8_t>(style);
+    first_live().replicator->request_style_switch(style);
+  }
+  [[nodiscard]] replication::ReplicationStyle style() const override {
+    for (const auto& n : nodes) {
+      if (n->live()) return n->replicator->style();
+    }
+    return style_of(policy);
+  }
+  void set_replica_count(int replicas) override {
+    VDEP_ASSERT(replicas >= 1);
+    policy.replicas = static_cast<std::uint8_t>(replicas);
+    int live = live_count();
+    for (auto it = nodes.rbegin(); it != nodes.rend() && live > replicas; ++it) {
+      if (!(*it)->live()) continue;
+      (*it)->replicator->stop();
+      --live;
+    }
+    while (live < replicas) {
+      owner.add_node(*this, owner.pick_server_host());
+      owner.start_node(*this, static_cast<int>(nodes.size()) - 1,
+                       /*join_existing=*/true);
+      ++live;
+    }
+  }
+  [[nodiscard]] int replica_count() const override { return live_count(); }
+  void set_checkpoint_interval(SimTime interval) override {
+    ckpt_interval = interval;
+    for (auto& n : nodes) {
+      if (n->live()) n->replicator->set_checkpoint_interval(interval);
+    }
+  }
+  [[nodiscard]] SimTime checkpoint_interval() const override {
+    return ckpt_interval;
+  }
+  void set_checkpoint_anchor_interval(std::uint32_t interval) override {
+    policy.checkpoint_anchor_interval = interval;
+    for (auto& n : nodes) {
+      if (n->live()) n->replicator->set_checkpoint_anchor_interval(interval);
+    }
+  }
+  [[nodiscard]] std::uint32_t checkpoint_anchor_interval() const override {
+    return policy.checkpoint_anchor_interval;
+  }
+};
+
+struct ShardedCluster::ClientBundle {
+  ClientBundle(ShardedCluster& owner, int index, NodeId host, ProcessId pid)
+      : index(index),
+        process(owner.kernel(), pid, host,
+                "client" + std::to_string(index) + "@" +
+                    owner.network().host_name(host)),
+        orb(owner.network(), process) {}
+
+  int index;
+  sim::Process process;
+  orb::ClientOrb orb;
+  std::unique_ptr<ShardRouter> router;
+};
+
+ShardedCluster::ShardedCluster(ShardedClusterConfig config)
+    : config_(std::move(config)) {
+  VDEP_ASSERT(config_.shards >= 1);
+  VDEP_ASSERT(config_.clients >= 1);
+  VDEP_ASSERT(config_.server_hosts >= 1);
+  config_.client_hosts = std::max(1, std::min(config_.client_hosts, config_.clients));
+  build();
+}
+
+ShardedCluster::~ShardedCluster() = default;
+
+void ShardedCluster::build() {
+  kernel_ = std::make_unique<sim::Kernel>(config_.seed);
+  if (config_.tracing) kernel_->tracer().enable();
+  network_ = std::make_unique<net::Network>(*kernel_);
+
+  // Client hosts first: the lowest-id daemon is the GCS leader/sequencer,
+  // and it should live on a machine the fault schedules never touch.
+  for (int c = 0; c < config_.client_hosts; ++c) {
+    hosts_.push_back(network_->add_host("cli" + std::to_string(c)));
+  }
+  for (int s = 0; s < config_.server_hosts; ++s) {
+    const NodeId host = network_->add_host("srv" + std::to_string(s));
+    hosts_.push_back(host);
+    server_hosts_.push_back(host);
+  }
+  std::uint64_t daemon_pid = kFirstDaemonPid;
+  for (NodeId host : hosts_) {
+    daemons_.push_back(std::make_unique<gcs::Daemon>(
+        *kernel_, *network_, ProcessId{daemon_pid++}, host, hosts_,
+        config_.daemon));
+  }
+  for (auto& d : daemons_) d->boot();
+
+  initial_map_ = ShardMap::uniform(config_.shards, kFirstDataGroupValue,
+                                   config_.default_policy);
+  next_group_value_ =
+      kFirstDataGroupValue + static_cast<std::uint64_t>(config_.shards);
+
+  // Directory group.
+  ShardPolicy dir_policy;
+  dir_policy.style = static_cast<std::uint8_t>(config_.directory_style);
+  dir_policy.replicas = static_cast<std::uint8_t>(config_.directory_replicas);
+  dir_policy.checkpoint_every_requests = 10;
+  auto& directory = add_group(GroupId{kDirectoryGroupValue}, dir_policy,
+                              /*is_directory=*/true);
+  for (int r = 0; r < config_.directory_replicas; ++r) {
+    add_node(directory,
+             server_hosts_[static_cast<std::size_t>(r) % server_hosts_.size()]);
+  }
+
+  // One data group per shard, replicas co-located round-robin on the server
+  // hosts.
+  std::size_t placement = static_cast<std::size_t>(config_.directory_replicas);
+  for (const auto& entry : initial_map_.entries()) {
+    auto& group = add_group(entry.group, entry.policy, /*is_directory=*/false);
+    for (int r = 0; r < entry.policy.replicas; ++r) {
+      add_node(group, server_hosts_[placement++ % server_hosts_.size()]);
+    }
+  }
+
+  // Staggered boots: one replica per tick so views form without join storms.
+  int boot_slot = 0;
+  for (auto& group : groups_) {
+    for (std::size_t n = 0; n < group->nodes.size(); ++n) {
+      GroupBundle* g = group.get();
+      const int node = static_cast<int>(n);
+      kernel_->post(kBootStagger * (++boot_slot), [this, g, node] {
+        start_node(*g, node, /*join_existing=*/false);
+      });
+    }
+  }
+
+  // Clients with routers.
+  for (int c = 0; c < config_.clients; ++c) {
+    const NodeId host = hosts_[static_cast<std::size_t>(c) %
+                               static_cast<std::size_t>(config_.client_hosts)];
+    auto client = std::make_unique<ClientBundle>(
+        *this, c, host, ProcessId{kFirstClientPid + static_cast<std::uint64_t>(c)});
+    client->orb.use_transport(std::make_unique<replication::ClientCoordinator>(
+        *network_, daemon_on(host), client->process, config_.coordinator));
+    ShardRouter::Params rp = config_.router;
+    rp.object_key = kObjectKey;
+    rp.directory_group = GroupId{kDirectoryGroupValue};
+    client->router =
+        std::make_unique<ShardRouter>(client->orb, initial_map_, rp, &metrics_);
+    clients_.push_back(std::move(client));
+  }
+
+  // Migration controller on the (never-faulted) first client host.
+  MigrationController::Params mp;
+  mp.object_key = kObjectKey;
+  mp.directory_group = GroupId{kDirectoryGroupValue};
+  mp.coordinator = config_.coordinator;
+  migration_ = std::make_unique<MigrationController>(
+      *network_, daemon_on(hosts_[0]), *kernel_, ProcessId{kMigratorPid},
+      hosts_[0], mp, &metrics_);
+
+  metrics_.set_gauge("shard.map_epoch", static_cast<double>(initial_map_.epoch()));
+  metrics_.set_gauge("shard.count", static_cast<double>(config_.shards));
+}
+
+ShardedCluster::GroupBundle& ShardedCluster::add_group(GroupId id,
+                                                       const ShardPolicy& policy,
+                                                       bool is_directory) {
+  groups_.push_back(
+      std::make_unique<GroupBundle>(*this, id, policy, is_directory));
+  groups_.back()->ckpt_interval = config_.checkpoint_interval;
+  return *groups_.back();
+}
+
+std::unique_ptr<replication::Checkpointable> ShardedCluster::make_group_servant(
+    GroupBundle& group, bool blank) {
+  if (group.is_directory) {
+    if (blank) return std::make_unique<DirectoryServant>();
+    return std::make_unique<DirectoryServant>(initial_map_);
+  }
+  if (blank) return std::make_unique<ShardServant>();
+  return std::make_unique<ShardServant>(ShardServant::Config{},
+                                        initial_map_.ranges_of(group.id),
+                                        initial_map_.epoch());
+}
+
+void ShardedCluster::add_node(GroupBundle& group, NodeId host) {
+  const int index = static_cast<int>(group.nodes.size());
+  // Nodes created at t=0 are seeded with the initial map / owned ranges;
+  // anything added later (growth, provisioned split targets) starts blank
+  // and fills in via state transfer or shard.install.
+  const bool seeded = kernel_->now() == kTimeZero;
+  const std::string name = "g" + std::to_string(group.id.value()) + "r" +
+                           std::to_string(index) + "@" +
+                           network_->host_name(host);
+  group.nodes.push_back(std::make_unique<ReplicaNode>(
+      *this, index, host, ProcessId{next_replica_pid_++}, name,
+      make_group_servant(group, /*blank=*/!seeded)));
+}
+
+void ShardedCluster::start_node(GroupBundle& group, int node, bool join_existing) {
+  auto& n = *group.nodes.at(static_cast<std::size_t>(node));
+  VDEP_ASSERT(!n.started);
+  n.started = true;
+
+  replication::ReplicatorParams params;
+  params.checkpoint_interval = group.ckpt_interval;
+  params.checkpoint_every_requests = group.policy.checkpoint_every_requests;
+  params.checkpoint_anchor_interval = group.policy.checkpoint_anchor_interval;
+  n.replicator = std::make_unique<replication::Replicator>(
+      *network_, daemon_on(n.process.host()), n.process, n.orb, *n.servant,
+      group.id, params);
+  if (config_.auto_recover && !n.recovery_hooked) {
+    n.recovery_hooked = true;
+    GroupBundle* g = &group;
+    const int index = node;
+    n.process.subscribe_restart([this, g, index](ProcessId) {
+      kernel_->post(kTimeZero, [this, g, index] {
+        auto& b = *g->nodes.at(static_cast<std::size_t>(index));
+        if (b.process.alive() &&
+            b.replicator_incarnation != b.process.incarnation()) {
+          recover_replica(g->id, index);
+        }
+      });
+    });
+  }
+  n.replicator_incarnation = n.process.incarnation();
+  n.replicator->start(group_style(group), join_existing);
+}
+
+replication::ReplicationStyle ShardedCluster::group_style(
+    const GroupBundle& g) const {
+  return g.is_directory ? config_.directory_style : style_of(g.policy);
+}
+
+NodeId ShardedCluster::pick_server_host() {
+  // Fewest resident replicas wins; ties break on host order (deterministic).
+  std::map<std::uint64_t, int> load;
+  for (NodeId h : server_hosts_) load[h.value()] = 0;
+  for (const auto& g : groups_) {
+    for (const auto& n : g->nodes) {
+      if (n->live() || !n->started) ++load[n->process.host().value()];
+    }
+  }
+  NodeId best = server_hosts_.front();
+  int best_load = load[best.value()];
+  for (NodeId h : server_hosts_) {
+    if (load[h.value()] < best_load) {
+      best = h;
+      best_load = load[h.value()];
+    }
+  }
+  return best;
+}
+
+gcs::Daemon& ShardedCluster::daemon_on(NodeId host) {
+  for (auto& d : daemons_) {
+    if (d->host() == host) return *d;
+  }
+  throw std::out_of_range("no daemon on that host");
+}
+
+ShardedCluster::GroupBundle& ShardedCluster::bundle(GroupId group) {
+  for (auto& g : groups_) {
+    if (g->id == group) return *g;
+  }
+  throw std::out_of_range("unknown group " + std::to_string(group.value()));
+}
+
+const ShardedCluster::GroupBundle& ShardedCluster::bundle(GroupId group) const {
+  for (const auto& g : groups_) {
+    if (g->id == group) return *g;
+  }
+  throw std::out_of_range("unknown group " + std::to_string(group.value()));
+}
+
+// --- directory ----------------------------------------------------------------
+
+GroupId ShardedCluster::directory_group() const {
+  return GroupId{kDirectoryGroupValue};
+}
+
+const ShardMap& ShardedCluster::directory_map() const {
+  const auto& dir = bundle(GroupId{kDirectoryGroupValue});
+  for (const auto& n : dir.nodes) {
+    if (!n->live()) continue;
+    auto* servant = dynamic_cast<const DirectoryServant*>(n->servant.get());
+    VDEP_ASSERT_MSG(servant != nullptr, "directory node hosts a DirectoryServant");
+    return servant->map();
+  }
+  return initial_map_;
+}
+
+// --- groups ---------------------------------------------------------------------
+
+std::vector<GroupId> ShardedCluster::data_groups() const {
+  std::vector<GroupId> out;
+  for (const auto& g : groups_) {
+    if (!g->is_directory) out.push_back(g->id);
+  }
+  return out;
+}
+
+int ShardedCluster::replicas_in(GroupId group) const {
+  return static_cast<int>(bundle(group).nodes.size());
+}
+
+replication::Replicator& ShardedCluster::replicator(GroupId group, int node) {
+  auto& r = bundle(group).nodes.at(static_cast<std::size_t>(node))->replicator;
+  VDEP_ASSERT_MSG(r != nullptr, "replica not started yet");
+  return *r;
+}
+
+ShardServant& ShardedCluster::shard_servant(GroupId group, int node) {
+  auto& b = bundle(group);
+  VDEP_ASSERT_MSG(!b.is_directory, "directory group has no shard servant");
+  auto* servant = dynamic_cast<ShardServant*>(
+      b.nodes.at(static_cast<std::size_t>(node))->servant.get());
+  VDEP_ASSERT_MSG(servant != nullptr, "shard node hosts a ShardServant");
+  return *servant;
+}
+
+sim::Process& ShardedCluster::replica_process(GroupId group, int node) {
+  return bundle(group).nodes.at(static_cast<std::size_t>(node))->process;
+}
+
+ProcessId ShardedCluster::replica_pid(GroupId group, int node) const {
+  return bundle(group).nodes.at(static_cast<std::size_t>(node))->process.id();
+}
+
+bool ShardedCluster::replica_live(GroupId group, int node) const {
+  return bundle(group).nodes.at(static_cast<std::size_t>(node))->live();
+}
+
+void ShardedCluster::recover_replica(GroupId group, int node) {
+  auto& g = bundle(group);
+  auto& n = *g.nodes.at(static_cast<std::size_t>(node));
+  if (!n.process.alive()) n.process.restart();
+  n.replicator.reset();
+  n.poa.deactivate(kObjectKey);
+  n.servant = make_group_servant(g, /*blank=*/true);
+  n.poa.activate(kObjectKey, *n.servant);
+  n.started = false;
+  start_node(g, node, /*join_existing=*/true);
+}
+
+// --- knobs ----------------------------------------------------------------------
+
+knobs::ReplicaGroupController& ShardedCluster::controller(GroupId group) {
+  return bundle(group);
+}
+
+knobs::VersatileDependability& ShardedCluster::vd(GroupId group) {
+  auto it = vds_.find(group.value());
+  if (it == vds_.end()) {
+    it = vds_.emplace(group.value(), std::make_unique<knobs::VersatileDependability>(
+                                         bundle(group)))
+             .first;
+  }
+  return *it->second;
+}
+
+// --- clients --------------------------------------------------------------------
+
+ShardRouter& ShardedCluster::router(int client) {
+  return *clients_.at(static_cast<std::size_t>(client))->router;
+}
+
+orb::ClientOrb& ShardedCluster::client_orb(int client) {
+  return clients_.at(static_cast<std::size_t>(client))->orb;
+}
+
+ProcessId ShardedCluster::client_pid(int client) const {
+  return clients_.at(static_cast<std::size_t>(client))->process.id();
+}
+
+// --- migration ------------------------------------------------------------------
+
+GroupId ShardedCluster::provision_group(const ShardPolicy& policy) {
+  const GroupId id{next_group_value_++};
+  auto& group = add_group(id, policy, /*is_directory=*/false);
+  for (int r = 0; r < policy.replicas; ++r) add_node(group, pick_server_host());
+  // The first member founds the (empty) group; the rest join it and catch up
+  // by state transfer, so a later install reaches every member's state.
+  for (std::size_t n = 0; n < group.nodes.size(); ++n) {
+    GroupBundle* g = &group;
+    const int node = static_cast<int>(n);
+    kernel_->post(kBootStagger * static_cast<std::int64_t>(n + 1), [this, g, node] {
+      start_node(*g, node, /*join_existing=*/node > 0);
+    });
+  }
+  return id;
+}
+
+void ShardedCluster::split_shard(std::uint32_t shard_id, std::uint32_t split_point,
+                                 const ShardPolicy& policy,
+                                 MigrationController::Done done) {
+  const GroupId target = provision_group(policy);
+  migration_->split(shard_id, split_point, target, policy, std::move(done));
+}
+
+// --- faults ---------------------------------------------------------------------
+
+void ShardedCluster::arm_faults() {
+  if (faults_armed_ || fault_plan_.empty()) return;
+  faults_armed_ = true;
+  std::vector<sim::Process*> processes;
+  for (auto& g : groups_) {
+    for (auto& n : g->nodes) processes.push_back(&n->process);
+  }
+  for (auto& c : clients_) processes.push_back(&c->process);
+  fault_plan_.arm(*kernel_, *network_, processes);
+}
+
+void ShardedCluster::drain(SimTime extra) {
+  kernel_->run_until(kernel_->now() + extra);
+}
+
+// --- workload -------------------------------------------------------------------
+
+ShardedCluster::WorkloadResult ShardedCluster::run_workload(const WorkloadConfig& wc) {
+  arm_faults();
+
+  struct ClientState {
+    Rng rng{1};
+    int issued = 0;
+    int completed = 0;
+    std::uint64_t failed = 0;
+    SimTime last_done = kTimeZero;
+  };
+  auto states = std::make_shared<std::vector<ClientState>>(
+      static_cast<std::size_t>(config_.clients));
+  auto sampler = std::make_shared<Sampler>();
+  auto remaining = std::make_shared<int>(config_.clients);
+
+  auto issue_fn = std::make_shared<std::function<void(int)>>();
+  // Captured weakly everywhere (a strong self capture would cycle and leak);
+  // the local shared_ptr outlives the run_until below, and any gap events
+  // that outlive the workload become no-ops.
+  std::weak_ptr<std::function<void(int)>> weak_issue = issue_fn;
+  *issue_fn = [this, wc, states, sampler, remaining, weak_issue](int c) {
+    auto& st = (*states)[static_cast<std::size_t>(c)];
+    if (st.issued >= wc.ops_per_client) {
+      if (--*remaining == 0) kernel_->stop();
+      return;
+    }
+    ++st.issued;
+    const std::string key =
+        "u" + std::to_string(st.rng.range(0, wc.key_space - 1));
+    const SimTime issued_at = kernel_->now();
+    const double pick = st.rng.uniform01();
+    auto& r = router(c);
+    auto on_done = [this, gap = wc.gap, states, sampler, weak_issue, c, issued_at](
+                       ShardStatus status, const Bytes&) {
+      auto& s = (*states)[static_cast<std::size_t>(c)];
+      if (status == ShardStatus::kOk) {
+        ++s.completed;
+        const double lat_us = to_usec(kernel_->now() - issued_at);
+        sampler->add(lat_us);
+        metrics_.observe("shard.latency_us", lat_us);
+      } else {
+        ++s.failed;
+      }
+      s.last_done = kernel_->now();
+      kernel_->post(gap, [weak_issue, c] {
+        if (auto fn = weak_issue.lock()) (*fn)(c);
+      });
+    };
+    if (pick < wc.put_ratio) {
+      r.put(key, "v" + std::to_string(st.issued), on_done);
+    } else if (pick < wc.put_ratio + wc.append_ratio) {
+      r.append(key, "[t" + std::to_string(st.issued) + "]", on_done);
+    } else {
+      r.get(key, on_done);
+    }
+  };
+
+  for (int c = 0; c < config_.clients; ++c) {
+    (*states)[static_cast<std::size_t>(c)].rng =
+        Rng(config_.seed).fork(0xc1a0 + static_cast<std::uint64_t>(c));
+    kernel_->post_at(wc.start_at + wc.stagger * c, [issue_fn, c] { (*issue_fn)(c); });
+  }
+
+  kernel_->run_until(wc.deadline);
+
+  WorkloadResult result;
+  result.all_done = *remaining == 0;
+  SimTime finished = kTimeZero;
+  for (const auto& st : *states) {
+    result.completed += static_cast<std::uint64_t>(st.completed);
+    result.failed += st.failed;
+    finished = std::max(finished, st.last_done);
+  }
+  result.finished_at = finished;
+  if (sampler->stats().count() > 0) {
+    result.avg_latency_us = sampler->stats().mean();
+    result.p99_latency_us = sampler->percentile(99);
+  }
+  const SimTime window = finished - wc.start_at;
+  if (window > kTimeZero && result.completed > 0) {
+    result.throughput_rps = static_cast<double>(result.completed) / to_sec(window);
+  }
+  return result;
+}
+
+}  // namespace vdep::shard

@@ -1,0 +1,86 @@
+// The sharded acceptance campaign: 200 seeded trials on a >= 32-shard
+// cluster, every trial performing online splits with crashes, partitions and
+// loss bursts injected inside the split windows. Both shard oracles (no key
+// served by two shards in one epoch; no lost/duplicated key across a split)
+// plus bounded recovery must hold on every trial. Labeled `chaos shard` in
+// ctest — excluded from the tier1 quick gate, run by scripts/ci.sh.
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.hpp"
+
+namespace vdep::chaos {
+namespace {
+
+CampaignConfig shard_campaign(int trials) {
+  CampaignConfig config;
+  config.seed = 0x5AD;
+  config.trials = trials;
+  config.shard_counts = {32};
+  // Sharded trials build one replica group per shard; keep the per-group
+  // footprint small so 32 groups fit one deterministic kernel comfortably.
+  config.replica_counts = {2};
+  config.styles = {replication::ReplicationStyle::kActive,
+                   replication::ReplicationStyle::kWarmPassive};
+  config.base.clients = 2;
+  config.base.ops_per_client = 40;
+  config.base.splits = 2;
+  config.base.faults.crash_recoveries = 2;
+  config.base.faults.partitions = 1;
+  config.base.faults.loss_bursts = 1;
+  config.base.faults.slow_hosts = 0;
+  config.base.faults.node_kills = 0;
+  return config;
+}
+
+TEST(ShardChaosCampaign, TwoHundredTrialsFaultsDuringSplitsOraclesHold) {
+  const CampaignConfig config = shard_campaign(200);
+
+  const CampaignResult result = run_campaign(config);
+
+  for (const auto& failure : result.failures) {
+    ADD_FAILURE() << "trial " << failure.trial_index << " (style "
+                  << replication::style_code(failure.config.style) << ", seed "
+                  << failure.config.seed << ", " << failure.config.shards
+                  << " shards):\n  "
+                  << [&] {
+                       std::string all;
+                       for (const auto& f : failure.failures) all += f + "\n  ";
+                       return all;
+                     }()
+                  << "schedule:\n"
+                  << failure.plan.to_string();
+  }
+  EXPECT_EQ(result.passed, config.trials);
+  EXPECT_TRUE(result.all_passed());
+
+  EXPECT_EQ(result.metrics.counter("chaos.shard.trials"),
+            static_cast<std::uint64_t>(config.trials));
+  // Splits actually committed: the mean migration count per trial is > 0 and
+  // the map epoch advanced past the initial one.
+  const auto* migrations = result.metrics.distribution("chaos.shard.migrations");
+  ASSERT_NE(migrations, nullptr);
+  EXPECT_GT(migrations->mean(), 0.0);
+  const auto* epochs = result.metrics.distribution("chaos.shard.final_epoch");
+  ASSERT_NE(epochs, nullptr);
+  EXPECT_GT(epochs->mean(), 1.0);
+}
+
+// A deterministic spot-check replays one sharded trial twice and expects
+// byte-identical flight recordings (the campaign's post-mortem mechanism).
+TEST(ShardChaosCampaign, ShardTrialIsDeterministic) {
+  CampaignConfig config = shard_campaign(1);
+  TrialConfig trial = campaign_trial_config(config, 0);
+  trial.record_spans = true;
+
+  const TrialResult a = run_trial(trial);
+  const TrialResult b = run_trial(trial);
+
+  EXPECT_EQ(a.pass(), b.pass());
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+  EXPECT_EQ(a.spans_recorded, b.spans_recorded);
+  EXPECT_EQ(a.flight_recording, b.flight_recording);
+  EXPECT_EQ(a.shard_observation.final_map, b.shard_observation.final_map);
+}
+
+}  // namespace
+}  // namespace vdep::chaos
