@@ -25,8 +25,9 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
 cmake --build "${build_dir}" -j"$(nproc)" \
-  --target micro_substrate --target micro_obs --target micro_checkpoint \
-  --target macro_events --target macro_shard --target chaos_runner
+  --target micro_substrate --target micro_obs --target micro_health \
+  --target micro_checkpoint --target macro_events --target macro_shard \
+  --target chaos_runner
 
 # Records one google-benchmark binary into BENCH_<name>.json, refusing to
 # keep the result unless the binary stamped itself as a release build.
@@ -47,8 +48,31 @@ record() {
   echo "wrote ${out}"
 }
 
+# Merges the "benchmarks" arrays of several recorded JSONs into the first
+# one's context (one baseline file for one layer, several producer binaries).
+merge_into() {
+  local out="$1"
+  shift
+  python3 - "${out}" "$@" <<'EOF'
+import json, sys
+out, first, *rest = sys.argv[1:]
+doc = json.load(open(first))
+for path in rest:
+    doc["benchmarks"].extend(json.load(open(path))["benchmarks"])
+json.dump(doc, open(out, "w"), indent=2)
+print(f"wrote {out}")
+EOF
+}
+
 record "${build_dir}/bench/micro_substrate" "${repo_root}/BENCH_substrate.json" "$@"
-record "${build_dir}/bench/micro_obs" "${repo_root}/BENCH_obs.json" "$@"
+# The observability baseline holds both producers: tracer costs (micro_obs)
+# and health-plane costs (micro_health). scripts/bench_gates.json gates each
+# binary against it separately via the "current" field.
+record "${build_dir}/bench/micro_obs" "${repo_root}/BENCH_obs_tracer.tmp.json" "$@"
+record "${build_dir}/bench/micro_health" "${repo_root}/BENCH_obs_health.tmp.json" "$@"
+merge_into "${repo_root}/BENCH_obs.json" \
+  "${repo_root}/BENCH_obs_tracer.tmp.json" "${repo_root}/BENCH_obs_health.tmp.json"
+rm -f "${repo_root}/BENCH_obs_tracer.tmp.json" "${repo_root}/BENCH_obs_health.tmp.json"
 record "${build_dir}/bench/micro_checkpoint" "${repo_root}/BENCH_checkpoint.json" "$@"
 record "${build_dir}/bench/macro_events" "${repo_root}/BENCH_kernel.json" "$@"
 record "${build_dir}/bench/macro_shard" "${repo_root}/BENCH_shard.json" "$@"

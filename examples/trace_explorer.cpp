@@ -13,8 +13,13 @@
 // binary twice with the same arguments produces identical files (the CI
 // determinism gate does exactly that and diffs them).
 //
-// Run:  ./trace_explorer [seed=42] [out=trace.json] [txt=]
+// Run:  ./trace_explorer [seed=42] [out=trace.json] [txt=] [metrics=0]
 //       ./trace_explorer shards=N [shard=K] [out=trace.json]
+//
+// With metrics=1 the scenario also runs its live health plane and dumps the
+// full metrics registry (counters, gauges — including health.* suspicion and
+// SLO gauges — and distribution summaries) as stable-key JSON to
+// metrics_out (default metrics.json).
 //
 // With shards=N the recording comes from a sharded cluster performing an
 // online split; every routed request carries a "shard.route" span noted
@@ -26,6 +31,7 @@
 
 #include "harness/scenario.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics_export.hpp"
 #include "shard/cluster.hpp"
 #include "util/config.hpp"
 
@@ -132,6 +138,8 @@ int main(int argc, char** argv) {
   config.max_replicas = 3;
   config.style = replication::ReplicationStyle::kWarmPassive;
   config.tracing = true;
+  const bool dump_metrics = cfg.get_int("metrics", 0) != 0;
+  config.health = dump_metrics;
   harness::Scenario scenario(config);
 
   scenario.fault_plan().crash_process(sec(1), scenario.replica_pid(0));
@@ -160,6 +168,18 @@ int main(int argc, char** argv) {
   }
   std::printf("  wrote %s (%zu bytes) — load in chrome://tracing\n", out.c_str(),
               json.size());
+
+  if (dump_metrics) {
+    const std::string metrics_out = cfg.get_str("metrics_out", "metrics.json");
+    const std::string metrics_json = obs::to_metrics_json(scenario.metrics());
+    if (!obs::write_file(metrics_out, metrics_json)) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s (%zu bytes) — metrics registry snapshot\n",
+                metrics_out.c_str(), metrics_json.size());
+    std::printf("  health events        %zu\n", scenario.health().events().size());
+  }
 
   const std::string text = obs::render_text(tracer);
   if (!txt.empty()) {

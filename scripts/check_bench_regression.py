@@ -14,7 +14,13 @@ own metric allowlist and thresholds (scripts/bench_gates.json):
   check_bench_regression.py --gate-file scripts/bench_gates.json --list-gates
 
 A gate entry looks like:
-  {"baseline": "BENCH_kernel.json",        # file name in both dirs
+  {"baseline": "BENCH_kernel.json",        # recorded file at the repo root
+   "current": "BENCH_kernel.json",         # fresh-measurement file name in
+                                           # --current-dir (optional; defaults
+                                           # to the baseline name — set it when
+                                           # two gated binaries share one
+                                           # recorded baseline so their fresh
+                                           # runs don't clobber each other)
    "binary": "bench/macro_events",         # producer (ci.sh runs it)
    "filter": "BM_MacroKernelChurn",        # --benchmark_filter, optional
    "kind": "gbench",                       # or "chaos" (flat JSON report)
@@ -74,7 +80,7 @@ def run_gate(gate, baseline_dir, current_dir):
     """Returns (ok, skipped) for one gate."""
     name = gate["baseline"]
     base_path = os.path.join(baseline_dir, name)
-    cur_path = os.path.join(current_dir, name)
+    cur_path = os.path.join(current_dir, gate.get("current", name))
     if not os.path.exists(base_path):
         print(f"{name}: no recorded baseline; skipping")
         return True, True
@@ -129,15 +135,17 @@ def main():
     ap.add_argument("--baseline-dir", default=".")
     ap.add_argument("--current-dir")
     ap.add_argument("--list-gates", action="store_true",
-                    help="print baseline<TAB>binary<TAB>filter<TAB>kind per gate")
+                    help="print baseline<TAB>current<TAB>binary<TAB>filter"
+                         "<TAB>kind per gate")
     args = ap.parse_args()
 
     if args.gate_file:
         gates = load_json(args.gate_file)["gates"]
         if args.list_gates:
             for g in gates:
-                print(f"{g['baseline']}\t{g.get('binary', '')}\t"
-                      f"{g.get('filter', '')}\t{g.get('kind', 'gbench')}")
+                print(f"{g['baseline']}\t{g.get('current', g['baseline'])}\t"
+                      f"{g.get('binary', '')}\t{g.get('filter', '')}\t"
+                      f"{g.get('kind', 'gbench')}")
             return 0
         if not args.current_dir:
             print("error: --current-dir is required with --gate-file",

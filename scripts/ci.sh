@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: the tier-1 quick suite on the default build, then the trace
-# determinism gate (two same-seed failover runs must export byte-identical
-# recordings), then the same suite under ASan/UBSan (VDEP_SANITIZE=ON), then
-# the long chaos campaign.
+# CI gate: the tier-1 quick suite on the default build, then the trace and
+# health-event determinism gates (two same-seed runs must export byte-
+# identical recordings / HealthEvent streams), then the same suite under
+# ASan/UBSan (VDEP_SANITIZE=ON), then the long chaos campaign.
 #
 # Usage: scripts/ci.sh [--skip-sanitize] [--skip-chaos]
 set -euo pipefail
@@ -39,6 +39,11 @@ cmake --build "${repo_root}/build" -j"${jobs}" --target micro_checkpoint
 "${repo_root}/build/bench/micro_checkpoint" --benchmark_min_time=0.001 > /dev/null
 echo "micro_checkpoint runs clean"
 
+echo "== health micro-benchmark smoke run =="
+cmake --build "${repo_root}/build" -j"${jobs}" --target micro_health
+"${repo_root}/build/bench/micro_health" --benchmark_min_time=0.001 > /dev/null
+echo "micro_health runs clean"
+
 echo "== macro-benchmark smoke runs =="
 # The whole-scenario events/sec benchmark and the sharded-fleet benchmark
 # must run on the default build (small configurations; the recorded
@@ -57,7 +62,7 @@ echo "== benchmark regression gates (scripts/bench_gates.json) =="
 # baseline file is absent are skipped.
 gate_file="${repo_root}/scripts/bench_gates.json"
 need_bench=0
-while IFS=$'\t' read -r baseline binary filter kind; do
+while IFS=$'\t' read -r baseline current binary filter kind; do
   [[ -f "${repo_root}/${baseline}" ]] && need_bench=1
 done < <(python3 "${repo_root}/scripts/check_bench_regression.py" \
            --gate-file "${gate_file}" --list-gates)
@@ -65,16 +70,18 @@ if [[ "${need_bench}" -eq 1 ]]; then
   cmake -B "${repo_root}/build-bench" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=Release -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
   bench_dir="$(mktemp -d)"
-  while IFS=$'\t' read -r baseline binary filter kind; do
+  # Fresh measurements land at the gate's "current" name (distinct from the
+  # baseline name when several gated binaries share one recorded baseline).
+  while IFS=$'\t' read -r baseline current binary filter kind; do
     [[ -f "${repo_root}/${baseline}" ]] || continue
     cmake --build "${repo_root}/build-bench" -j"${jobs}" \
       --target "$(basename "${binary}")"
     if [[ "${kind}" == "chaos" ]]; then
       "${repo_root}/build-bench/${binary}" trials=200 seed=1 \
-        out="${bench_dir}/${baseline}" > /dev/null
+        out="${bench_dir}/${current}" > /dev/null
     else
       bench_args=(--benchmark_format=json
-                  --benchmark_out="${bench_dir}/${baseline}"
+                  --benchmark_out="${bench_dir}/${current}"
                   --benchmark_out_format=json)
       [[ -n "${filter}" ]] && bench_args+=("--benchmark_filter=${filter}")
       "${repo_root}/build-bench/${binary}" "${bench_args[@]}" > /dev/null
@@ -99,6 +106,18 @@ trap 'rm -rf "${trace_dir}"' EXIT
 diff "${trace_dir}/run1.json" "${trace_dir}/run2.json"
 diff "${trace_dir}/run1.txt" "${trace_dir}/run2.txt"
 echo "trace exports are byte-identical across same-seed runs"
+
+echo "== health-event determinism gate =="
+# One seeded chaos trial with the live health plane, run twice: the rendered
+# HealthEvent stream (suspect/clear, SLO breach/recover — with sequence ids
+# and sim-time stamps) must replay byte-identically from the seed.
+cmake --build "${repo_root}/build" -j"${jobs}" --target health_dashboard
+"${repo_root}/build/examples/health_dashboard" chaos=1 seed=42 \
+  events="${trace_dir}/health1.txt" > /dev/null
+"${repo_root}/build/examples/health_dashboard" chaos=1 seed=42 \
+  events="${trace_dir}/health2.txt" > /dev/null
+diff "${trace_dir}/health1.txt" "${trace_dir}/health2.txt"
+echo "health-event streams are byte-identical across same-seed runs"
 
 if [[ "${skip_sanitize}" -eq 0 ]]; then
   echo "== tier-1 (ASan + UBSan) =="

@@ -6,11 +6,17 @@
 // style differs from the current one it initiates a switch. Several replicas
 // may initiate concurrently — the protocol's step I discards duplicates —
 // and because all managers read the *agreed* state, their decisions align.
+//
+// A HealthMonitor can be attached as a second signal source: the manager
+// then also fills the Signals' health fields (link suspicion, suspected
+// replicas, SLO burn) so policies such as HealthThresholdPolicy can react
+// to dependability risk, not just load.
 #pragma once
 
 #include <memory>
 
 #include "adaptive/policy.hpp"
+#include "monitor/health/health_monitor.hpp"
 #include "monitor/replicated_state.hpp"
 #include "replication/replicator.hpp"
 
@@ -22,6 +28,17 @@ class AdaptationManager {
                     monitor::ReplicatedStateObject& state,
                     std::unique_ptr<AdaptationPolicy> policy,
                     SimTime evaluate_interval = msec(100));
+
+  // Without a replicated-state object the request rate comes from the local
+  // replicator; pair this with a health source for health-driven policies.
+  AdaptationManager(replication::Replicator& replicator,
+                    std::unique_ptr<AdaptationPolicy> policy,
+                    SimTime evaluate_interval = msec(100));
+
+  // Attaches the health plane as a signal source (must outlive the manager).
+  void set_health_source(const monitor::health::HealthMonitor* health) {
+    health_ = health;
+  }
 
   void start();
 
@@ -35,7 +52,8 @@ class AdaptationManager {
   void evaluate();
 
   replication::Replicator& replicator_;
-  monitor::ReplicatedStateObject& state_;
+  monitor::ReplicatedStateObject* state_;  // may be null
+  const monitor::health::HealthMonitor* health_ = nullptr;
   std::unique_ptr<AdaptationPolicy> policy_;
   SimTime interval_;
   std::uint64_t initiated_ = 0;

@@ -14,6 +14,26 @@ std::optional<replication::ReplicationStyle> RateThresholdPolicy::evaluate(
                                                                 : config_.low_style;
 }
 
+HealthThresholdPolicy::HealthThresholdPolicy(Config config) : config_(config) {}
+
+std::optional<replication::ReplicationStyle> HealthThresholdPolicy::evaluate(
+    const Signals& s) {
+  const bool at_risk =
+      s.slo_burn >= config_.burn_degraded || s.max_phi >= config_.phi_degraded ||
+      (config_.degrade_on_suspect && s.suspected_replicas > 0);
+  if (at_risk == degraded_) return std::nullopt;
+  // Degrading is urgent (dependability is at risk now); recovering respects
+  // the dwell so a clearing-then-reappearing signal cannot thrash.
+  if (!at_risk && transitioned_once_ &&
+      s.now - last_transition_ < config_.min_dwell) {
+    return std::nullopt;
+  }
+  degraded_ = at_risk;
+  transitioned_once_ = true;
+  last_transition_ = s.now;
+  return degraded_ ? config_.degraded_style : config_.normal_style;
+}
+
 std::optional<replication::ReplicationStyle> ModePolicy::evaluate(const Signals&) {
   return mode_ == Mode::kMissionCritical ? replication::ReplicationStyle::kActive
                                          : replication::ReplicationStyle::kWarmPassive;

@@ -22,6 +22,13 @@ struct Signals {
   double bandwidth_mbps = 0.0; // measured network usage
   double avg_latency_us = 0.0; // smoothed round-trip estimate
   std::size_t replicas = 0;
+
+  // Health-plane signals, filled when the AdaptationManager has a
+  // HealthMonitor source attached (all zero otherwise).
+  double max_phi = 0.0;              // worst link suspicion level
+  std::size_t suspected_replicas = 0;
+  double slo_burn = 0.0;             // worst SLO error-budget burn rate
+  bool slo_breached = false;
 };
 
 class AdaptationPolicy {
@@ -57,6 +64,38 @@ class RateThresholdPolicy final : public AdaptationPolicy {
  private:
   Config config_;
   monitor::ThresholdWatcher watcher_;
+};
+
+// Health-driven policy: run the resource-conserving style while the health
+// plane is quiet; degrade to the resilient style when dependability is at
+// risk — a replica is suspected, a link's phi accrues past the suspicion
+// threshold, or an SLO is burning its error budget. Recovery back to the
+// normal style waits for every trigger to clear plus a minimum dwell, so a
+// flapping signal cannot thrash the switch protocol.
+class HealthThresholdPolicy final : public AdaptationPolicy {
+ public:
+  struct Config {
+    double burn_degraded = 1.0;  // slo_burn at/above this degrades
+    double phi_degraded = 8.0;   // max_phi at/above this degrades
+    bool degrade_on_suspect = true;
+    SimTime min_dwell = msec(500);
+    replication::ReplicationStyle degraded_style =
+        replication::ReplicationStyle::kActive;
+    replication::ReplicationStyle normal_style =
+        replication::ReplicationStyle::kWarmPassive;
+  };
+
+  HealthThresholdPolicy() : HealthThresholdPolicy(Config{}) {}
+  explicit HealthThresholdPolicy(Config config);
+
+  [[nodiscard]] std::string name() const override { return "health_threshold"; }
+  std::optional<replication::ReplicationStyle> evaluate(const Signals& s) override;
+
+ private:
+  Config config_;
+  bool degraded_ = false;
+  bool transitioned_once_ = false;
+  SimTime last_transition_ = kTimeZero;
 };
 
 // Conserve-resources policy for mode-based applications (paper Sec. 5: run

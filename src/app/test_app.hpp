@@ -93,6 +93,11 @@ class ClosedLoopClient {
   // Fired once when warm-up finishes and once when the cycle completes.
   void set_on_warmup_done(std::function<void()> fn) { on_warmup_ = std::move(fn); }
   void set_on_done(std::function<void()> fn) { on_done_ = std::move(fn); }
+  // Fired on every completed request (warm-up included) with its round-trip
+  // latency; feeds per-request telemetry (the health plane's SLO input).
+  void set_on_complete(std::function<void(double latency_us)> fn) {
+    on_complete_ = std::move(fn);
+  }
 
  private:
   void issue_next();
@@ -106,6 +111,7 @@ class ClosedLoopClient {
   SimTime last_completed_ = kTimeZero;
   std::function<void()> on_warmup_;
   std::function<void()> on_done_;
+  std::function<void(double)> on_complete_;
 };
 
 }  // namespace vdep::app

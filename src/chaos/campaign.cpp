@@ -94,6 +94,7 @@ TrialResult run_trial(const TrialConfig& config, const net::FaultPlan& plan) {
   sc.auto_recover = true;
   sc.skip_reply_dedup = config.inject_dedup_bug;
   sc.tracing = config.record_spans;
+  sc.health = config.health;
   sc.make_servant = [&ctx](int index) {
     auto servant = std::make_unique<app::KvStoreServant>();
     servant->set_on_apply([&ctx, index](const std::string& op, const std::string& key) {
@@ -156,6 +157,15 @@ TrialResult run_trial(const TrialConfig& config, const net::FaultPlan& plan) {
                active_plan.last_effect_end() + config.recovery_bound + sec(2));
   scenario.kernel().run_until(deadline);
   const bool all_done = remaining == 0;
+  if (config.health) {
+    // The detection oracle judges every scheduled fault, so each one must
+    // actually strike while the health plane is watching: when the workload
+    // finishes early, keep the simulation alive through the last fault
+    // effect plus the detection bound instead of stopping with late faults
+    // still pending.
+    scenario.kernel().run_until(active_plan.last_effect_end() +
+                                config.detection_bound + msec(200));
+  }
   scenario.drain(msec(500));  // let replies, checkpoints and joins settle
 
   // Observation.
@@ -199,6 +209,16 @@ TrialResult run_trial(const TrialConfig& config, const net::FaultPlan& plan) {
   }
 
   result.verdict = check_all(obs);
+  if (config.health) {
+    HealthObservation hobs;
+    hobs.enabled = true;
+    hobs.fault_free = active_plan.empty();
+    hobs.detection_bound = config.detection_bound;
+    hobs.events = scenario.health().events();
+    hobs.faults = active_plan.actions();
+    result.verdict.merge(check_detection(hobs));
+    result.health_observation = std::move(hobs);
+  }
   result.finished_at = finished;
   result.recovery_ms =
       finished > result.last_fault_end ? to_usec(finished - result.last_fault_end) / 1000.0
@@ -278,6 +298,20 @@ CampaignResult run_campaign(
       result.metrics.observe(
           "chaos.shard.final_epoch",
           static_cast<double>(trial.shard_observation.final_map.epoch()));
+    }
+    if (trial_config.health) {
+      // Per-fault detection latency distribution: the campaign's p50/p99
+      // detection figures read straight off this metric.
+      for (const auto& rec : match_detections(trial.health_observation)) {
+        if (rec.detected) {
+          result.metrics.observe("chaos.detection_ms", rec.latency_ms);
+        } else {
+          result.metrics.add("chaos.detection_missed");
+        }
+      }
+      result.metrics.add(
+          "chaos.health_events",
+          static_cast<std::uint64_t>(trial.health_observation.events.size()));
     }
     result.metrics.observe("chaos.recovery_ms", trial.recovery_ms);
     result.metrics.observe("chaos.completed_ops",

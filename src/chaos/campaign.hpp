@@ -49,6 +49,13 @@ struct TrialConfig {
   // Record a structured trace and digest it (determinism tests).
   bool record_trace = false;
 
+  // Live health plane: attach a HealthMonitor to the trial scenario, feed
+  // client latencies into the service SLO, and judge the run with the
+  // detection oracle — every injected crash/partition must be flagged within
+  // detection_bound, and fault-free control trials must raise no alarm.
+  bool health = false;
+  SimTime detection_bound = msec(400);
+
   // Record causal spans (obs::Tracer) during the trial and attach a
   // Chrome-trace flight recording to the result. Deterministic: re-running
   // the same (seed, config) reproduces the recording byte for byte, which is
@@ -69,7 +76,8 @@ struct TrialResult {
   net::FaultPlan plan;
   Verdict verdict;
   TrialObservation observation;
-  ShardObservation shard_observation;  // populated when shards > 1
+  ShardObservation shard_observation;    // populated when shards > 1
+  HealthObservation health_observation;  // populated when health is on
   SimTime finished_at = kTimeZero;
   SimTime last_fault_end = kTimeZero;
   double recovery_ms = 0.0;  // last fault effect -> workload completion

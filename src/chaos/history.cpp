@@ -89,6 +89,13 @@ void WorkloadClient::issue_next() {
                 done.ok = status == orb::ReplyStatus::kNoException;
                 last_completed_ = process_.now();
                 ++completed_;
+                if (scenario_.health_enabled()) {
+                  auto& metrics = scenario_.metrics();
+                  metrics.observe("service.latency_us",
+                                  to_usec(process_.now() - done.issued_at));
+                  metrics.add("service.requests");
+                  if (!done.ok) metrics.add("service.failures");
+                }
                 if (trace_ != nullptr) {
                   trace_->add(process_.now(), "client" + std::to_string(config_.index),
                               "complete " + done.op + " " + done.key +

@@ -371,4 +371,95 @@ Verdict check_shard_migration_integrity(const TrialObservation& obs,
   return v;
 }
 
+// --- health plane --------------------------------------------------------------
+
+namespace {
+
+using monitor::health::HealthEvent;
+using monitor::health::HealthEventKind;
+
+bool is_alarm(HealthEventKind kind) {
+  return kind == HealthEventKind::kReplicaSuspect ||
+         kind == HealthEventKind::kLinkSuspect ||
+         kind == HealthEventKind::kSloLatencyBreach ||
+         kind == HealthEventKind::kSloAvailabilityBreach;
+}
+
+bool requires_detection(const net::FaultAction& action) {
+  return action.kind == net::FaultAction::Kind::kCrashProcess ||
+         action.kind == net::FaultAction::Kind::kCrashNode ||
+         action.kind == net::FaultAction::Kind::kPartition;
+}
+
+bool event_matches_fault(const HealthEvent& event, const net::FaultAction& action) {
+  switch (action.kind) {
+    case net::FaultAction::Kind::kCrashProcess:
+      // The daemon co-located with the process observes the crash directly.
+      return event.kind == HealthEventKind::kReplicaSuspect &&
+             event.id_a == action.pid.value();
+    case net::FaultAction::Kind::kCrashNode:
+      // The host's daemon dies with it; its heartbeats silence and peers'
+      // phi-accrual detectors suspect every link from the dead host.
+      return event.kind == HealthEventKind::kLinkSuspect &&
+             event.id_a == action.node.value();
+    case net::FaultAction::Kind::kPartition: {
+      if (event.kind != HealthEventKind::kLinkSuspect) return false;
+      const NodeId from{event.id_a};
+      const NodeId observer{event.id_b};
+      return (action.side_a.contains(from) && action.side_b.contains(observer)) ||
+             (action.side_b.contains(from) && action.side_a.contains(observer));
+    }
+    default:
+      // Loss bursts, slow hosts and the restart/restore halves carry no
+      // detection obligation (they may or may not silence a link).
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<DetectionRecord> match_detections(const HealthObservation& obs) {
+  std::vector<DetectionRecord> records;
+  if (!obs.enabled) return records;
+  for (const auto& action : obs.faults) {
+    if (!requires_detection(action)) continue;
+    DetectionRecord rec;
+    rec.fault = action.to_string();
+    rec.injected_at = action.at;
+    for (const auto& event : obs.events) {
+      if (event.at < action.at || event.at > action.at + obs.detection_bound) continue;
+      if (!event_matches_fault(event, action)) continue;
+      rec.detected = true;
+      rec.latency_ms = to_msec(event.at - action.at);
+      break;  // events are in emission (time) order: first match is earliest
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+Verdict check_detection(const HealthObservation& obs) {
+  Verdict v;
+  if (!obs.enabled) return v;
+  if (obs.fault_free) {
+    for (const auto& event : obs.events) {
+      if (is_alarm(event.kind)) {
+        v.failures.push_back(
+            "health: false alarm in fault-free trial: " +
+            std::string(to_string(event.kind)) + " " + event.subject + " at " +
+            std::to_string(to_msec(event.at)) + " ms");
+      }
+    }
+    return v;
+  }
+  for (const auto& rec : match_detections(obs)) {
+    if (!rec.detected) {
+      v.failures.push_back("health: fault not detected within " +
+                           std::to_string(to_msec(obs.detection_bound)) +
+                           " ms: " + rec.fault);
+    }
+  }
+  return v;
+}
+
 }  // namespace vdep::chaos

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "chaos/history.hpp"
+#include "monitor/health/events.hpp"
+#include "net/fault_plan.hpp"
 #include "shard/map.hpp"
 #include "util/ids.hpp"
 
@@ -110,5 +112,38 @@ struct ShardObservation {
 // assigns its key to — and acknowledged puts are present at (only) the owner.
 [[nodiscard]] Verdict check_shard_migration_integrity(
     const TrialObservation& obs, const ShardObservation& shard_obs);
+
+// --- health plane --------------------------------------------------------------
+//
+// What a health-enabled trial additionally observes: the deterministic
+// HealthEvent stream and the fault schedule it must explain. Plain data.
+struct HealthObservation {
+  bool enabled = false;
+  // Control trial (empty schedule): ANY suspicion or SLO-breach event is a
+  // false alarm.
+  bool fault_free = false;
+  // Every detectable fault must be flagged within this of its strike time.
+  SimTime detection_bound = msec(400);
+  std::vector<monitor::health::HealthEvent> events;
+  std::vector<net::FaultAction> faults;  // the injected schedule, in order
+};
+
+// One injected fault carrying a detection obligation, matched against the
+// event stream: process crashes must raise kReplicaSuspect for that pid,
+// node crashes a kLinkSuspect from the dead host, partitions a kLinkSuspect
+// crossing the cut.
+struct DetectionRecord {
+  std::string fault;  // FaultAction::to_string() of the injected fault
+  SimTime injected_at = kTimeZero;
+  bool detected = false;
+  double latency_ms = 0.0;  // strike -> matching event (when detected)
+};
+
+[[nodiscard]] std::vector<DetectionRecord> match_detections(
+    const HealthObservation& obs);
+
+// Detection-latency oracle: every crash/partition flagged within the bound,
+// and fault-free control trials raise no alarm at all.
+[[nodiscard]] Verdict check_detection(const HealthObservation& obs);
 
 }  // namespace vdep::chaos

@@ -26,7 +26,10 @@ Daemon::Daemon(sim::Kernel& kernel, net::Network& network, ProcessId pid, NodeId
   link_ = std::make_unique<ReliableLink>(
       *this, network_,
       [this](NodeId from, Payload&& inner) { on_link_deliver(from, std::move(inner)); },
-      [this](NodeId from, Payload&&) { fd_->heartbeat_received(from); });
+      [this](NodeId from, Payload&&) {
+        fd_->heartbeat_received(from);
+        if (health_ != nullptr) health_->on_heartbeat(from, this->host(), now());
+      });
 
   std::vector<NodeId> peers;
   for (NodeId d : all_daemons_) {
@@ -464,12 +467,18 @@ SyncState Daemon::local_sync_state(std::uint64_t term) const {
 void Daemon::register_endpoint(Endpoint& ep) {
   const ProcessId pid = ep.id();
   endpoints_[pid].push_back(&ep);
+  if (health_ != nullptr) {
+    health_->on_endpoint_registered(pid, host(), ep.process().name(), now());
+  }
   if (crash_subscribed_.insert(pid).second) {
     ep.process().subscribe_crash([this, pid](ProcessId) {
       if (!alive()) return;
       auto it = endpoints_.find(pid);
       if (it == endpoints_.end()) return;
       auto eps = it->second;
+      if (health_ != nullptr && !eps.empty()) {
+        health_->on_endpoint_crashed(pid, host(), eps.front()->process().name(), now());
+      }
       for (Endpoint* dead : eps) {
         for (GroupId group : dead->joined_groups()) {
           Forward fwd;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "gcs/failure_detector.hpp"
+#include "gcs/health_observer.hpp"
 #include "gcs/membership.hpp"
 #include "gcs/ordering.hpp"
 #include "gcs/reliable_link.hpp"
@@ -73,6 +74,10 @@ class Daemon : public sim::Process {
   [[nodiscard]] bool is_leader() const { return leader_ == host() && !awaiting_sync_; }
   [[nodiscard]] const FailureDetector& failure_detector() const { return *fd_; }
   [[nodiscard]] std::uint64_t term() const { return term_; }
+
+  // Health-plane tap (see gcs/health_observer.hpp). The observer must
+  // outlive the daemon; nullptr detaches.
+  void set_health_observer(HealthObserver* observer) { health_ = observer; }
 
   void on_crash() override;
 
@@ -131,6 +136,7 @@ class Daemon : public sim::Process {
   net::Network& network_;
   DaemonParams params_;
   std::vector<NodeId> all_daemons_;
+  HealthObserver* health_ = nullptr;
   std::unique_ptr<ReliableLink> link_;
   std::unique_ptr<FailureDetector> fd_;
 

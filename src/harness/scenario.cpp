@@ -74,6 +74,7 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
   VDEP_ASSERT(config_.clients >= 1);
   VDEP_ASSERT(config_.replicas >= 1);
   config_.max_replicas = std::max(config_.max_replicas, config_.replicas);
+  if (config_.health_adaptation) config_.health = true;
   build();
 }
 
@@ -99,6 +100,33 @@ void Scenario::build() {
     daemons_.push_back(std::make_unique<gcs::Daemon>(
         *kernel_, *network_, ProcessId{next_pid_++}, host, hosts, config_.daemon));
   }
+
+  if (config_.health) {
+    health_ = std::make_unique<monitor::health::HealthMonitor>(
+        *kernel_, metrics_, config_.health_params);
+    for (auto& d : daemons_) health_->attach(*d);
+    if (config_.slos.empty()) {
+      monitor::health::SloSpec slo;
+      slo.name = "service";
+      slo.latency_metric = "service.latency_us";
+      slo.request_counter = "service.requests";
+      slo.failure_counter = "service.failures";
+      health_->add_slo(slo);
+    } else {
+      for (const auto& slo : config_.slos) health_->add_slo(slo);
+    }
+    // Queue-depth probes on the replica machines: committed-but-unserved CPU
+    // time is the backlog a gray failure (e.g. a slow host) builds up.
+    for (int r = 0; r < config_.max_replicas; ++r) {
+      const NodeId host{static_cast<std::uint64_t>(config_.clients + r)};
+      auto& cpu = network_->cpu(host);
+      health_->add_probe("cpu_backlog." + network_->host_name(host),
+                         config_.cpu_backlog_threshold_us,
+                         [&cpu] { return to_usec(cpu.backlog()); });
+    }
+    health_->start();
+  }
+
   for (auto& d : daemons_) d->boot();
 
   // Replicas.
@@ -215,7 +243,19 @@ void Scenario::start_replica(int index, bool join_existing) {
         *bundle.replicator, *bundle.state,
         std::make_unique<adaptive::RateThresholdPolicy>(*config_.adaptation));
     bundle.adaptation->start();
+  } else if (config_.health_adaptation) {
+    bundle.adaptation = std::make_unique<adaptive::AdaptationManager>(
+        *bundle.replicator,
+        std::make_unique<adaptive::HealthThresholdPolicy>(*config_.health_adaptation));
+    bundle.adaptation->set_health_source(health_.get());
+    bundle.adaptation->start();
   }
+}
+
+monitor::health::HealthMonitor& Scenario::health() {
+  VDEP_ASSERT_MSG(health_ != nullptr,
+                  "scenario built without config.health / health_adaptation");
+  return *health_;
 }
 
 gcs::Daemon& Scenario::daemon_on(NodeId host) {
@@ -410,6 +450,12 @@ ExperimentResult Scenario::run_closed_loop(CycleConfig cycle) {
     client->closed->set_on_done([&] {
       if (--done_remaining == 0) kernel_->stop();
     });
+    if (health_enabled()) {
+      client->closed->set_on_complete([this](double latency_us) {
+        metrics_.observe("service.latency_us", latency_us);
+        metrics_.add("service.requests");
+      });
+    }
     const int index = client->index;
     kernel_->post_at(kClientStartTime + usec(250) * index,
                      [this, index] { clients_[index]->closed->start(); });

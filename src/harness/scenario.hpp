@@ -19,6 +19,7 @@
 #include "interpose/interposer.hpp"
 #include "knobs/low_level.hpp"
 #include "monitor/bandwidth_meter.hpp"
+#include "monitor/health/health_monitor.hpp"
 #include "net/fault_plan.hpp"
 #include "replication/client_coordinator.hpp"
 #include "replication/replicator.hpp"
@@ -57,6 +58,19 @@ struct ScenarioConfig {
   // Monitoring / adaptation (Fig. 6).
   bool enable_replicated_state = false;
   std::optional<adaptive::RateThresholdPolicy::Config> adaptation;
+
+  // Live health plane: a HealthMonitor attached to every daemon, windowed
+  // telemetry cut from the scenario registry, per-request latency observed
+  // into "service.latency_us"/"service.requests", a default service SLO
+  // (override via `slos`) and per-replica-host CPU queue-depth probes.
+  bool health = false;
+  monitor::health::HealthParams health_params;
+  std::vector<monitor::health::SloSpec> slos;  // empty = one default SLO
+  double cpu_backlog_threshold_us = 100'000.0;
+  // Health-driven adaptation: each replica gets an AdaptationManager with
+  // the HealthMonitor as signal source and a HealthThresholdPolicy (implies
+  // `health`).
+  std::optional<adaptive::HealthThresholdPolicy::Config> health_adaptation;
 
   // The application each replica hosts. Default (null): the paper's
   // micro-benchmark TestServant built from the parameters above. Supply a
@@ -159,6 +173,10 @@ class Scenario final : public knobs::ReplicaGroupController {
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   [[nodiscard]] orb::ObjectRef object_ref() const;
   [[nodiscard]] int live_replicas() const;
+  // Health plane (health() asserts config.health / health_adaptation).
+  [[nodiscard]] monitor::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] bool health_enabled() const { return health_ != nullptr; }
+  [[nodiscard]] monitor::health::HealthMonitor& health();
 
   // --- knobs::ReplicaGroupController ----------------------------------------------
   void set_style(replication::ReplicationStyle style) override;
@@ -195,6 +213,8 @@ class Scenario final : public knobs::ReplicaGroupController {
   std::vector<std::unique_ptr<gcs::Daemon>> daemons_;
   std::vector<std::unique_ptr<ReplicaBundle>> replicas_;
   std::vector<std::unique_ptr<ClientBundle>> clients_;
+  monitor::MetricsRegistry metrics_;
+  std::unique_ptr<monitor::health::HealthMonitor> health_;
   net::FaultPlan fault_plan_;
   bool faults_armed_ = false;
   std::uint64_t next_pid_ = 100;

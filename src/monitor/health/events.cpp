@@ -1,0 +1,74 @@
+#include "monitor/health/events.hpp"
+
+#include <cstdio>
+
+namespace vdep::monitor::health {
+
+const char* to_string(HealthEventKind kind) {
+  switch (kind) {
+    case HealthEventKind::kReplicaSuspect: return "replica_suspect";
+    case HealthEventKind::kReplicaClear: return "replica_clear";
+    case HealthEventKind::kLinkSuspect: return "link_suspect";
+    case HealthEventKind::kLinkClear: return "link_clear";
+    case HealthEventKind::kSloLatencyBreach: return "slo_latency_breach";
+    case HealthEventKind::kSloLatencyRecover: return "slo_latency_recover";
+    case HealthEventKind::kSloAvailabilityBreach: return "slo_availability_breach";
+    case HealthEventKind::kSloAvailabilityRecover: return "slo_availability_recover";
+    case HealthEventKind::kQueueDepthAnomaly: return "queue_depth_anomaly";
+    case HealthEventKind::kQueueDepthClear: return "queue_depth_clear";
+  }
+  return "unknown";
+}
+
+const HealthEvent& HealthEventStream::emit(SimTime at, HealthEventKind kind,
+                                           std::string subject, std::uint64_t id_a,
+                                           std::uint64_t id_b, double value,
+                                           double threshold) {
+  HealthEvent ev;
+  ev.seq = next_seq_++;
+  ev.at = at;
+  ev.kind = kind;
+  ev.subject = std::move(subject);
+  ev.id_a = id_a;
+  ev.id_b = id_b;
+  ev.value = value;
+  ev.threshold = threshold;
+  events_.push_back(std::move(ev));
+  if (on_event_) on_event_(events_.back());
+  return events_.back();
+}
+
+std::string render_text(const std::vector<HealthEvent>& events) {
+  std::string out;
+  char buf[192];
+  for (const HealthEvent& ev : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "#%06llu t=%lldns %s %s value=%.3f threshold=%.3f\n",
+                  static_cast<unsigned long long>(ev.seq),
+                  static_cast<long long>(ev.at.count()), to_string(ev.kind),
+                  ev.subject.c_str(), ev.value, ev.threshold);
+    out += buf;
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<HealthEvent>& events) {
+  std::string out = "[\n";
+  char buf[256];
+  bool first = true;
+  for (const HealthEvent& ev : events) {
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"seq\":%llu,\"t_ns\":%lld,\"kind\":\"%s\",\"subject\":\"%s\","
+                  "\"value\":%.3f,\"threshold\":%.3f}",
+                  static_cast<unsigned long long>(ev.seq),
+                  static_cast<long long>(ev.at.count()), to_string(ev.kind),
+                  ev.subject.c_str(), ev.value, ev.threshold);
+    out += buf;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace vdep::monitor::health

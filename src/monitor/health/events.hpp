@@ -1,0 +1,79 @@
+// The deterministic health-event stream: the alert surface of the health
+// plane.
+//
+// Every state transition the HealthMonitor decides — a replica or link
+// crossing its suspicion threshold (and clearing), an SLO entering or
+// leaving breach, a queue-depth probe tripping — is appended here with a
+// stable, monotone sequence id. Because every input is simulation-
+// deterministic, the stream replays byte-identically from a seed: the
+// canonical render_text() form is diffed byte-for-byte in ci.sh, and the
+// chaos detection oracle matches injected faults against it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vdep::monitor::health {
+
+enum class HealthEventKind : std::uint8_t {
+  kReplicaSuspect,
+  kReplicaClear,
+  kLinkSuspect,
+  kLinkClear,
+  kSloLatencyBreach,
+  kSloLatencyRecover,
+  kSloAvailabilityBreach,
+  kSloAvailabilityRecover,
+  kQueueDepthAnomaly,
+  kQueueDepthClear,
+};
+
+[[nodiscard]] const char* to_string(HealthEventKind kind);
+
+struct HealthEvent {
+  std::uint64_t seq = 0;  // stable: assigned in emission order
+  SimTime at = kTimeZero;
+  HealthEventKind kind{};
+  std::string subject;  // "replica:replica1@srv1", "link:4->0", "slo:service"
+  // Structured subject ids for programmatic matching (the chaos oracle):
+  // replica events carry the pid in `id_a`; link events carry the sending
+  // host in `id_a` and the observing host in `id_b`; SLO/probe events leave
+  // them 0.
+  std::uint64_t id_a = 0;
+  std::uint64_t id_b = 0;
+  double value = 0.0;      // phi / p99_us / burn rate / backlog_us
+  double threshold = 0.0;  // the configured bound it crossed
+};
+
+class HealthEventStream {
+ public:
+  const HealthEvent& emit(SimTime at, HealthEventKind kind, std::string subject,
+                          std::uint64_t id_a, std::uint64_t id_b, double value,
+                          double threshold);
+
+  [[nodiscard]] const std::vector<HealthEvent>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  // Fired synchronously on each emission (the dashboard's live feed).
+  void set_on_event(std::function<void(const HealthEvent&)> fn) {
+    on_event_ = std::move(fn);
+  }
+
+ private:
+  std::vector<HealthEvent> events_;
+  std::uint64_t next_seq_ = 0;
+  std::function<void(const HealthEvent&)> on_event_;
+};
+
+// Canonical renderings, byte-deterministic for a given event sequence:
+// one line per event (render_text) / a JSON array (to_json). Timestamps are
+// printed as integer nanoseconds and levels with fixed precision, so no
+// floating-point formatting variance can leak into the bytes.
+[[nodiscard]] std::string render_text(const std::vector<HealthEvent>& events);
+[[nodiscard]] std::string to_json(const std::vector<HealthEvent>& events);
+
+}  // namespace vdep::monitor::health

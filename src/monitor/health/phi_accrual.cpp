@@ -1,0 +1,71 @@
+#include "monitor/health/phi_accrual.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace vdep::monitor::health {
+
+namespace {
+constexpr double kPhiCap = 100.0;
+}
+
+PhiAccrualDetector::PhiAccrualDetector(Params params) : params_(params) {
+  VDEP_ASSERT(params_.window > 0);
+  VDEP_ASSERT(params_.bootstrap_interval > kTimeZero);
+  VDEP_ASSERT(params_.min_stddev_us > 0.0);
+  VDEP_ASSERT(params_.phi_clear < params_.phi_suspect);
+}
+
+double PhiAccrualDetector::mean_interval_us() const {
+  if (intervals_us_.size() < params_.min_samples) {
+    return to_usec(params_.bootstrap_interval);
+  }
+  return sum_ / static_cast<double>(intervals_us_.size());
+}
+
+double PhiAccrualDetector::stddev_interval_us() const {
+  if (intervals_us_.size() < params_.min_samples) return params_.min_stddev_us;
+  const auto n = static_cast<double>(intervals_us_.size());
+  const double mean = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - mean * mean);
+  return std::max(std::sqrt(var), params_.min_stddev_us);
+}
+
+void PhiAccrualDetector::heartbeat(SimTime now) {
+  if (started_) {
+    VDEP_ASSERT_MSG(now >= last_at_, "heartbeats must be observed in time order");
+    double interval = to_usec(now - last_at_);
+    const double cap = params_.max_interval_factor * mean_interval_us();
+    interval = std::min(interval, cap);
+    intervals_us_.push_back(interval);
+    sum_ += interval;
+    sum_sq_ += interval * interval;
+    if (intervals_us_.size() > params_.window) {
+      const double evicted = intervals_us_.front();
+      intervals_us_.pop_front();
+      sum_ -= evicted;
+      sum_sq_ -= evicted * evicted;
+    }
+  }
+  started_ = true;
+  last_at_ = now;
+}
+
+double PhiAccrualDetector::phi(SimTime now) const {
+  if (!started_) return 0.0;
+  const double since_us = to_usec(now - last_at_);
+  const double mean = mean_interval_us();
+  const double stddev = stddev_interval_us();
+  const double y = (since_us - mean) / stddev;
+  // P(next heartbeat later than `now`) under a normal inter-arrival model:
+  // the upper tail, computed with erfc for precision far into the tail.
+  const double p_later = 0.5 * std::erfc(y / std::numbers::sqrt2);
+  if (p_later <= 0.0) return kPhiCap;
+  const double value = -std::log10(p_later);
+  return std::clamp(value, 0.0, kPhiCap);
+}
+
+}  // namespace vdep::monitor::health

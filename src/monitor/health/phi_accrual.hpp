@@ -1,0 +1,69 @@
+// Phi-accrual failure detection (Hayashibara et al., "The phi accrual
+// failure detector", SRDS 2004) over one heartbeat stream.
+//
+// Instead of a binary alive/dead verdict at a fixed miss limit (the classic
+// gcs::FailureDetector, which expels members), phi outputs a continuous
+// suspicion level: phi(t) = -log10 P(a heartbeat arrives after t), with the
+// arrival distribution estimated from a sliding window of observed
+// inter-arrival times (normal tail via erfc — no sampling, deterministic).
+// phi = 8 means "if we suspect now, the chance this is a false alarm is
+// 1e-8 under the fitted model". The health plane runs one detector per
+// daemon-to-daemon heartbeat link and publishes phi as a gauge, so
+// suspicion rises and clears hundreds of milliseconds before the classic
+// detector's expulsion threshold — the early-warning substrate for
+// gray-failure handling.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "util/time.hpp"
+
+namespace vdep::monitor::health {
+
+class PhiAccrualDetector {
+ public:
+  struct Params {
+    // Inter-arrival samples kept for the mean/stddev estimate.
+    std::size_t window = 64;
+    // Below this many samples the bootstrap interval stands in for the mean.
+    std::size_t min_samples = 3;
+    SimTime bootstrap_interval = msec(20);
+    // Stddev floor (us): absorbs the near-zero variance of simulated
+    // heartbeats so one slightly-late arrival cannot spike phi.
+    double min_stddev_us = 5000.0;
+    // A sample longer than factor x mean is clamped before entering the
+    // window: a survived outage is a failure observation, not a latency
+    // sample, and must not desensitize the detector for the next fault.
+    double max_interval_factor = 5.0;
+    // Suspicion threshold and the hysteresis level that clears it.
+    double phi_suspect = 8.0;
+    double phi_clear = 1.0;
+  };
+
+  PhiAccrualDetector() : PhiAccrualDetector(Params{}) {}
+  explicit PhiAccrualDetector(Params params);
+
+  // A heartbeat arrived at `now` (must be non-decreasing).
+  void heartbeat(SimTime now);
+
+  // Current suspicion level. 0 before the first heartbeat; capped at 100.
+  [[nodiscard]] double phi(SimTime now) const;
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] SimTime last_heartbeat() const { return last_at_; }
+  [[nodiscard]] std::size_t samples() const { return intervals_us_.size(); }
+  [[nodiscard]] double mean_interval_us() const;
+  [[nodiscard]] double stddev_interval_us() const;
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  bool started_ = false;
+  SimTime last_at_ = kTimeZero;
+  std::deque<double> intervals_us_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace vdep::monitor::health

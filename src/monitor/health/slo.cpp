@@ -1,0 +1,40 @@
+#include "monitor/health/slo.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace vdep::monitor::health {
+
+SloTracker::SloTracker(SloSpec spec) : spec_(std::move(spec)) {
+  VDEP_ASSERT(!spec_.name.empty());
+  VDEP_ASSERT(!spec_.latency_metric.empty());
+  VDEP_ASSERT(!spec_.request_counter.empty());
+  VDEP_ASSERT(spec_.availability_target < 1.0);
+  VDEP_ASSERT(spec_.window > 0);
+}
+
+SloStatus SloTracker::evaluate(const TimeSeries& series) const {
+  SloStatus status;
+  status.requests = series.total(spec_.request_counter, spec_.window);
+  if (!spec_.failure_counter.empty()) {
+    status.failures = series.total(spec_.failure_counter, spec_.window);
+  }
+  if (status.requests < spec_.min_requests) return status;  // vacuously met
+
+  if (auto p99 = series.percentile(spec_.latency_metric, 99.0, spec_.window)) {
+    status.p99_us = *p99;
+    status.latency_met = status.p99_us <= spec_.latency_p99_target_us;
+  }
+  // Requests that failed outright count against availability; latency does
+  // not (it has its own objective).
+  const auto total = static_cast<double>(status.requests + status.failures);
+  status.availability =
+      1.0 - static_cast<double>(status.failures) / std::max(1.0, total);
+  status.availability_met = status.availability >= spec_.availability_target;
+  status.burn_rate =
+      std::max(0.0, 1.0 - status.availability) / (1.0 - spec_.availability_target);
+  return status;
+}
+
+}  // namespace vdep::monitor::health

@@ -1,0 +1,83 @@
+#include "monitor/health/window.hpp"
+
+#include "util/assert.hpp"
+
+namespace vdep::monitor::health {
+
+TimeSeries::TimeSeries(std::size_t capacity) : capacity_(capacity) {
+  VDEP_ASSERT(capacity_ > 0);
+}
+
+const WindowSnapshot& TimeSeries::cut(const MetricsRegistry& registry, SimTime now) {
+  WindowSnapshot w;
+  w.index = next_index_++;
+  w.start = last_cut_;
+  w.end = now;
+
+  const MetricsSnapshot current = registry.snapshot();
+  w.deltas = current.diff(last_);
+  for (const auto& [name, dist] : registry.distributions()) {
+    auto prev = last_histograms_.find(name);
+    w.histograms.emplace(name, prev == last_histograms_.end()
+                                   ? dist.histogram
+                                   : dist.histogram.delta_since(prev->second));
+    // Keep a full copy for the next diff (distributions are never removed
+    // from a registry, so the map only grows with new names).
+    last_histograms_[name] = dist.histogram;
+  }
+  last_ = current;
+  last_cut_ = now;
+
+  ring_.push_back(std::move(w));
+  if (ring_.size() > capacity_) ring_.pop_front();
+  return ring_.back();
+}
+
+const WindowSnapshot& TimeSeries::window(std::size_t back) const {
+  VDEP_ASSERT(back < ring_.size());
+  return ring_[ring_.size() - 1 - back];
+}
+
+std::uint64_t TimeSeries::total(const std::string& counter, std::size_t n) const {
+  std::uint64_t sum = 0;
+  const std::size_t take = std::min(n, ring_.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const auto& counters = window(i).deltas.counters;
+    auto it = counters.find(counter);
+    if (it != counters.end()) sum += it->second;
+  }
+  return sum;
+}
+
+double TimeSeries::rate(const std::string& counter, std::size_t n) const {
+  const std::size_t take = std::min(n, ring_.size());
+  if (take == 0) return 0.0;
+  const SimTime span = window(0).end - window(take - 1).start;
+  if (span <= kTimeZero) return 0.0;
+  return static_cast<double>(total(counter, take)) / to_sec(span);
+}
+
+std::uint64_t TimeSeries::observations(const std::string& dist, std::size_t n) const {
+  std::uint64_t sum = 0;
+  const std::size_t take = std::min(n, ring_.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const auto& obs = window(i).deltas.observations;
+    auto it = obs.find(dist);
+    if (it != obs.end()) sum += it->second;
+  }
+  return sum;
+}
+
+std::optional<double> TimeSeries::percentile(const std::string& dist, double p,
+                                             std::size_t n) const {
+  LogHistogram merged;
+  const std::size_t take = std::min(n, ring_.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    auto it = window(i).histograms.find(dist);
+    if (it != window(i).histograms.end()) merged.merge(it->second);
+  }
+  if (merged.count() == 0) return std::nullopt;
+  return merged.percentile(p);
+}
+
+}  // namespace vdep::monitor::health

@@ -1,0 +1,75 @@
+// Windowed telemetry: a ring of per-window metric deltas cut from a
+// MetricsRegistry on a sim-time cadence.
+//
+// Each cut() diffs the registry against the previous cut — counters and
+// observation counts become per-window deltas, gauges are sampled at the
+// cut instant, and every distribution contributes a per-window LogHistogram
+// delta — so rates ("requests/s over the last 5 windows") and rolling
+// percentiles ("p99 latency over the last N windows") are queryable online
+// while the simulation runs, with no sample storage and full determinism:
+// the same seed produces byte-identical window contents.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "monitor/metrics.hpp"
+#include "util/time.hpp"
+
+namespace vdep::monitor::health {
+
+// One telemetry window: everything that happened between two cuts.
+struct WindowSnapshot {
+  std::uint64_t index = 0;  // 0-based, monotone even after the ring wraps
+  SimTime start = kTimeZero;
+  SimTime end = kTimeZero;
+  // Counters / observation counts are per-window deltas; gauges carry the
+  // value sampled at `end` (MetricsSnapshot::diff semantics).
+  MetricsSnapshot deltas;
+  // Per-distribution histogram deltas: only the samples of this window.
+  std::map<std::string, LogHistogram> histograms;
+
+  [[nodiscard]] SimTime duration() const { return end - start; }
+};
+
+// Bounded ring of the most recent windows. Queries aggregate over the last
+// `n` windows (clamped to what the ring still holds).
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity = 64);
+
+  // Closes the current window at `now` and opens the next one. Returns the
+  // freshly cut window.
+  const WindowSnapshot& cut(const MetricsRegistry& registry, SimTime now);
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t windows_cut() const { return next_index_; }
+  // back = 0 is the newest window.
+  [[nodiscard]] const WindowSnapshot& window(std::size_t back) const;
+
+  // Sum of a counter's per-window deltas over the last n windows.
+  [[nodiscard]] std::uint64_t total(const std::string& counter, std::size_t n) const;
+  // Events/second for a counter over the span of the last n windows.
+  [[nodiscard]] double rate(const std::string& counter, std::size_t n) const;
+  // Observation count of a distribution over the last n windows.
+  [[nodiscard]] std::uint64_t observations(const std::string& dist, std::size_t n) const;
+  // Rolling percentile: merges the last n windows' histogram deltas.
+  // nullopt when the distribution has no samples in those windows.
+  [[nodiscard]] std::optional<double> percentile(const std::string& dist, double p,
+                                                 std::size_t n) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<WindowSnapshot> ring_;  // oldest first
+  // Full-registry state at the last cut, diffed against on the next one.
+  MetricsSnapshot last_;
+  std::map<std::string, LogHistogram> last_histograms_;
+  std::uint64_t next_index_ = 0;
+  SimTime last_cut_ = kTimeZero;
+};
+
+}  // namespace vdep::monitor::health

@@ -1,0 +1,19 @@
+// Metrics-snapshot JSON exporter: MetricsRegistry -> stable-key JSON,
+// emitted next to the Chrome-trace output (see obs/export.hpp).
+//
+// Keys appear in sorted (std::map) order and numbers render with fixed
+// precision, so the same registry state always produces the same bytes.
+// Note on layering: the declaration lives here with the other exporters,
+// but the definition is compiled into vdep_monitor (the registry type's
+// library) — vdep_obs itself does not depend on the monitor layer.
+#pragma once
+
+#include <string>
+
+#include "monitor/metrics.hpp"
+
+namespace vdep::obs {
+
+[[nodiscard]] std::string to_metrics_json(const monitor::MetricsRegistry& registry);
+
+}  // namespace vdep::obs

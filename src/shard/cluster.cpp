@@ -242,6 +242,24 @@ void ShardedCluster::build() {
 
   metrics_.set_gauge("shard.map_epoch", static_cast<double>(initial_map_.epoch()));
   metrics_.set_gauge("shard.count", static_cast<double>(config_.shards));
+
+  if (config_.health) {
+    health_ = std::make_unique<monitor::health::HealthMonitor>(
+        *kernel_, metrics_, config_.health_params);
+    for (auto& d : daemons_) health_->attach(*d);
+    for (const auto& entry : initial_map_.entries()) {
+      monitor::health::SloSpec slo;
+      const std::string prefix = "shard." + std::to_string(entry.shard);
+      slo.name = prefix;
+      slo.latency_metric = prefix + ".latency_us";
+      slo.request_counter = prefix + ".ops";
+      slo.failure_counter = prefix + ".failed";
+      slo.latency_p99_target_us = config_.shard_slo_p99_target_us;
+      slo.availability_target = config_.shard_slo_availability_target;
+      health_->add_slo(slo);
+    }
+    health_->start();
+  }
 }
 
 ShardedCluster::GroupBundle& ShardedCluster::add_group(GroupId id,
@@ -497,6 +515,11 @@ void ShardedCluster::drain(SimTime extra) {
   kernel_->run_until(kernel_->now() + extra);
 }
 
+monitor::health::HealthMonitor& ShardedCluster::health() {
+  VDEP_ASSERT_MSG(health_ != nullptr, "cluster built without config.health");
+  return *health_;
+}
+
 // --- workload -------------------------------------------------------------------
 
 ShardedCluster::WorkloadResult ShardedCluster::run_workload(const WorkloadConfig& wc) {
@@ -531,16 +554,28 @@ ShardedCluster::WorkloadResult ShardedCluster::run_workload(const WorkloadConfig
     const SimTime issued_at = kernel_->now();
     const double pick = st.rng.uniform01();
     auto& r = router(c);
-    auto on_done = [this, gap = wc.gap, states, sampler, weak_issue, c, issued_at](
-                       ShardStatus status, const Bytes&) {
+    // Shard attribution for per-shard SLO metrics: by the key's hash position
+    // in the initial map (shard ids are stable across splits of a lineage).
+    const ShardEntry* entry = initial_map_.lookup_key(key);
+    const std::uint32_t shard_id = entry != nullptr ? entry->shard : 0;
+    auto on_done = [this, gap = wc.gap, states, sampler, weak_issue, c, issued_at,
+                    shard_id](ShardStatus status, const Bytes&) {
       auto& s = (*states)[static_cast<std::size_t>(c)];
       if (status == ShardStatus::kOk) {
         ++s.completed;
         const double lat_us = to_usec(kernel_->now() - issued_at);
         sampler->add(lat_us);
         metrics_.observe("shard.latency_us", lat_us);
+        if (health_ != nullptr) {
+          const std::string prefix = "shard." + std::to_string(shard_id);
+          metrics_.observe(prefix + ".latency_us", lat_us);
+          metrics_.add(prefix + ".ops");
+        }
       } else {
         ++s.failed;
+        if (health_ != nullptr) {
+          metrics_.add("shard." + std::to_string(shard_id) + ".failed");
+        }
       }
       s.last_done = kernel_->now();
       kernel_->post(gap, [weak_issue, c] {

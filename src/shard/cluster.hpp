@@ -17,6 +17,7 @@
 
 #include "gcs/daemon.hpp"
 #include "knobs/versatile.hpp"
+#include "monitor/health/health_monitor.hpp"
 #include "net/fault_plan.hpp"
 #include "replication/replicator.hpp"
 #include "shard/migration.hpp"
@@ -41,6 +42,14 @@ struct ShardedClusterConfig {
   ShardRouter::Params router;  // directory_group/object_key filled in build
   bool tracing = false;
   bool auto_recover = true;
+
+  // Live health plane: a HealthMonitor attached to every daemon plus one SLO
+  // tracker per shard ("shard.<id>" over the per-shard latency/ops/failed
+  // metrics that run_workload records when health is on).
+  bool health = false;
+  monitor::health::HealthParams health_params;
+  double shard_slo_p99_target_us = 50'000.0;
+  double shard_slo_availability_target = 0.99;
 };
 
 class ShardedCluster {
@@ -56,6 +65,9 @@ class ShardedCluster {
   [[nodiscard]] net::Network& network() { return *network_; }
   [[nodiscard]] monitor::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const ShardedClusterConfig& config() const { return config_; }
+  // Health plane (health() asserts config.health).
+  [[nodiscard]] bool health_enabled() const { return health_ != nullptr; }
+  [[nodiscard]] monitor::health::HealthMonitor& health();
 
   // --- directory ------------------------------------------------------------
   [[nodiscard]] const ShardMap& initial_map() const { return initial_map_; }
@@ -147,6 +159,7 @@ class ShardedCluster {
   std::unique_ptr<MigrationController> migration_;
   std::map<std::uint64_t, std::unique_ptr<knobs::VersatileDependability>> vds_;
   monitor::MetricsRegistry metrics_;
+  std::unique_ptr<monitor::health::HealthMonitor> health_;
   net::FaultPlan fault_plan_;
   bool faults_armed_ = false;
   std::uint64_t next_group_value_ = 0;

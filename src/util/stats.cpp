@@ -164,6 +164,35 @@ void LogHistogram::merge(const LogHistogram& other) {
 
 void LogHistogram::reset() { *this = LogHistogram{}; }
 
+LogHistogram LogHistogram::delta_since(const LogHistogram& earlier) const {
+  VDEP_ASSERT_MSG(total_ >= earlier.total_,
+                  "delta_since expects an earlier copy of the same histogram");
+  LogHistogram out;
+  std::size_t first = kBuckets;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    VDEP_ASSERT(counts_[i] >= earlier.counts_[i]);
+    const std::uint64_t d = counts_[i] - earlier.counts_[i];
+    out.counts_[i] = d;
+    if (d > 0) {
+      if (first == kBuckets) first = i;
+      last = i;
+    }
+  }
+  out.total_ = total_ - earlier.total_;
+  out.sum_ = sum_ - earlier.sum_;
+  if (out.total_ > 0) {
+    // Lower bound of the first occupied bucket is a valid lower bound on the
+    // delta's samples; the lifetime min cannot exceed the delta min, so the
+    // tighter of the two stands in for it (and likewise for max).
+    out.min_ = std::max(bucket_lower_bound(first), min_);
+    const double upper =
+        last + 1 < kBuckets ? bucket_lower_bound(last + 1) : max_;
+    out.max_ = std::max(out.min_, std::min(upper, max_));
+  }
+  return out;
+}
+
 SlidingRate::SlidingRate(SimTime window) : window_(window) {
   VDEP_ASSERT(window > kTimeZero);
 }

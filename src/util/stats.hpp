@@ -102,6 +102,14 @@ class LogHistogram {
   void merge(const LogHistogram& other);
   void reset();
 
+  // Bucket-wise difference `*this - earlier`, where `earlier` is a previous
+  // copy of this same histogram (every bucket count monotone since then).
+  // The delta's min/max are only known to bucket resolution: they are taken
+  // from the edge buckets of the delta, tightened by this histogram's
+  // lifetime range. Percentiles over a delta therefore stay deterministic
+  // but may report bucket bounds at the extremes.
+  [[nodiscard]] LogHistogram delta_since(const LogHistogram& earlier) const;
+
   // 16 buckets per octave; exponents cover ~[2^-32, 2^32).
   static constexpr std::size_t kSubBuckets = 16;
   static constexpr int kMinExponent = -32;

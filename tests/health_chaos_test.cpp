@@ -1,0 +1,92 @@
+// The health-plane acceptance campaign: 200 seeded chaos trials with the
+// live health plane attached and the detection oracle armed — every injected
+// replica crash and partition must be flagged by a matching HealthEvent
+// within the configured detection bound, with no missed detections — plus
+// fault-free control trials that must stay completely silent (zero suspect /
+// breach events), and a byte-determinism check on the event stream. Labeled
+// `chaos`: excluded from the tier1 quick gate, run by scripts/ci.sh.
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.hpp"
+
+namespace vdep::chaos {
+namespace {
+
+TEST(HealthChaosCampaign, TwoHundredTrialsEveryFaultDetectedInBound) {
+  CampaignConfig config;
+  config.seed = 5;
+  config.trials = 200;
+  config.base.health = true;
+
+  const CampaignResult result = run_campaign(config);
+
+  for (const auto& failure : result.failures) {
+    ADD_FAILURE() << "trial " << failure.trial_index << " (style "
+                  << replication::style_code(failure.config.style) << ", "
+                  << failure.config.replicas << " replicas, seed "
+                  << failure.config.seed << "):\n  "
+                  << [&] {
+                       std::string all;
+                       for (const auto& f : failure.failures) all += f + "\n  ";
+                       return all;
+                     }()
+                  << "schedule:\n"
+                  << failure.plan.to_string();
+  }
+  EXPECT_EQ(result.passed, 200);
+  EXPECT_TRUE(result.all_passed());
+
+  // No injected crash/partition escaped detection, and the campaign recorded
+  // a per-fault detection-latency distribution whose tail respects the bound.
+  EXPECT_EQ(result.metrics.counter("chaos.detection_missed"), 0u);
+  const auto* detection = result.metrics.distribution("chaos.detection_ms");
+  ASSERT_NE(detection, nullptr);
+  EXPECT_GT(detection->count(), 100u);  // most trials inject >= 1 detectable fault
+  const auto p50 = result.metrics.percentile("chaos.detection_ms", 50);
+  const auto p99 = result.metrics.percentile("chaos.detection_ms", 99);
+  ASSERT_TRUE(p50.has_value());
+  ASSERT_TRUE(p99.has_value());
+  EXPECT_LE(*p50, *p99);
+  EXPECT_LE(*p99, to_msec(config.base.detection_bound));
+  EXPECT_GT(result.metrics.counter("chaos.health_events"), 0u);
+}
+
+TEST(HealthChaosCampaign, FaultFreeControlTrialsRaiseNoAlarm) {
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    TrialConfig config;
+    config.seed = seed;
+    config.health = true;
+    config.faults = SchedulePolicy{};
+    config.faults.crash_recoveries = 0;
+    config.faults.loss_bursts = 0;
+    config.faults.partitions = 0;
+    config.faults.slow_hosts = 0;
+
+    const TrialResult result = run_trial(config);
+    // check_detection treats every alarm in a fault-free trial as a failure,
+    // so pass() already covers "zero false alarms" — assert it explicitly
+    // and double-check the observation was judged in control mode.
+    EXPECT_TRUE(result.health_observation.fault_free) << "seed " << seed;
+    EXPECT_TRUE(result.pass())
+        << "seed " << seed << ":\n"
+        << result.verdict.to_string() << "\nevents:\n"
+        << monitor::health::render_text(result.health_observation.events);
+  }
+}
+
+TEST(HealthChaosCampaign, EventStreamByteIdenticalAcrossReruns) {
+  for (std::uint64_t seed : {3u, 17u, 42u}) {
+    TrialConfig config;
+    config.seed = seed;
+    config.health = true;
+    const TrialResult first = run_trial(config);
+    const TrialResult second = run_trial(config);
+    const std::string a = monitor::health::render_text(first.health_observation.events);
+    const std::string b = monitor::health::render_text(second.health_observation.events);
+    EXPECT_FALSE(a.empty()) << "seed " << seed;
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace vdep::chaos

@@ -72,10 +72,44 @@ TEST(MetricsRegistry, SnapshotDiffGivesPerPhaseDeltas) {
   EXPECT_EQ(delta.observations.at("latency"), 2u);
 }
 
+TEST(MetricsRegistry, SnapshotDiffEdgeCases) {
+  MetricsRegistry m;
+  m.add("stable", 5);
+  m.set_gauge("old_gauge", 1.5);
+  const MetricsSnapshot earlier = m.snapshot();
+
+  // A distribution that did not exist in the earlier snapshot: its whole
+  // observation count is the delta.
+  m.observe("fresh_dist", 1.0);
+  m.observe("fresh_dist", 2.0);
+  m.observe("fresh_dist", 3.0);
+  m.set_gauge("new_gauge", 9.0);
+  const MetricsSnapshot later = m.snapshot();
+  const MetricsSnapshot delta = later.diff(earlier);
+
+  // Unchanged counter reads a zero delta (present, not dropped).
+  EXPECT_EQ(delta.counters.at("stable"), 0u);
+  // Missing-in-earlier distribution: full count.
+  EXPECT_EQ(delta.observations.at("fresh_dist"), 3u);
+  // Gauges carry the later snapshot's values — both the untouched one and
+  // the newcomer.
+  EXPECT_DOUBLE_EQ(delta.gauges.at("old_gauge"), 1.5);
+  EXPECT_DOUBLE_EQ(delta.gauges.at("new_gauge"), 9.0);
+}
+
 TEST(RateEstimator, SmoothedRate) {
   RateEstimator est(msec(100), /*ewma_alpha=*/1.0);  // alpha 1: no smoothing
   for (int i = 0; i < 50; ++i) est.record(msec(i * 2));
   EXPECT_NEAR(est.rate(msec(99)), 500.0, 20.0);
+}
+
+TEST(RateEstimator, WindowRollover) {
+  RateEstimator est(msec(100), /*ewma_alpha=*/1.0);
+  for (int i = 0; i < 10; ++i) est.record(msec(i * 10));
+  EXPECT_GT(est.rate(msec(95)), 0.0);
+  // The window has rolled past every recorded event: the rate reads zero
+  // (not a stale value from the old window).
+  EXPECT_DOUBLE_EQ(est.rate(msec(300)), 0.0);
 }
 
 TEST(ThresholdWatcher, HysteresisAndDwell) {

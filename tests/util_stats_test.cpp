@@ -152,6 +152,69 @@ TEST(LogHistogram, MergeMatchesCombined) {
   EXPECT_EQ(a.count(), 0u);
 }
 
+TEST(LogHistogram, MergeEmptyEdges) {
+  LogHistogram empty;
+  LogHistogram other;
+  empty.merge(other);  // empty + empty stays empty
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+
+  LogHistogram h;
+  for (double v : {3.0, 7.0, 11.0}) h.add(v);
+  h.merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 11.0);
+
+  empty.merge(h);  // empty absorbs the other side's exact range
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty.min(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 11.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), h.percentile(50));
+}
+
+TEST(LogHistogram, SingleBucketMergeStaysExact) {
+  // Point masses occupy one bucket each; the merged histogram must keep
+  // their exact values at the extremes (min/max are tracked exactly).
+  LogHistogram a;
+  LogHistogram b;
+  for (int i = 0; i < 10; ++i) a.add(42.0);
+  for (int i = 0; i < 10; ++i) b.add(42.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_DOUBLE_EQ(a.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 42.0);
+}
+
+TEST(LogHistogram, ExactP100AfterMerge) {
+  LogHistogram low;
+  LogHistogram high;
+  for (int i = 1; i <= 100; ++i) low.add(static_cast<double>(i));
+  high.add(54321.0);
+  low.merge(high);
+  EXPECT_DOUBLE_EQ(low.percentile(100), 54321.0);
+  EXPECT_DOUBLE_EQ(low.percentile(0), 1.0);
+}
+
+TEST(LogHistogram, DeltaSinceIsolatesNewSamples) {
+  LogHistogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  const LogHistogram earlier = h;
+  for (int i = 0; i < 50; ++i) h.add(1000.0);
+
+  const LogHistogram delta = h.delta_since(earlier);
+  EXPECT_EQ(delta.count(), 50u);
+  // The delta is a point mass at 1000 up to bucket resolution, tightened by
+  // the lifetime max (exactly 1000).
+  EXPECT_NEAR(delta.percentile(50), 1000.0, 1000.0 * 0.05);
+  EXPECT_DOUBLE_EQ(delta.max(), 1000.0);
+  EXPECT_GE(delta.min(), 1000.0 / 1.05);
+
+  // Nothing new since the copy: the delta is empty.
+  const LogHistogram none = h.delta_since(h);
+  EXPECT_EQ(none.count(), 0u);
+}
+
 TEST(SlidingRate, WindowedRate) {
   SlidingRate rate(msec(100));
   for (int i = 0; i < 10; ++i) rate.record(msec(i * 10));
