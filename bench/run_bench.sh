@@ -27,7 +27,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
 cmake --build "${build_dir}" -j"$(nproc)" \
   --target micro_substrate --target micro_obs --target micro_health \
   --target micro_checkpoint --target macro_events --target macro_shard \
-  --target chaos_runner
+  --target macro_campaign --target chaos_runner
 
 # Records one google-benchmark binary into BENCH_<name>.json, refusing to
 # keep the result unless the binary stamped itself as a release build.
@@ -76,6 +76,7 @@ rm -f "${repo_root}/BENCH_obs_tracer.tmp.json" "${repo_root}/BENCH_obs_health.tm
 record "${build_dir}/bench/micro_checkpoint" "${repo_root}/BENCH_checkpoint.json" "$@"
 record "${build_dir}/bench/macro_events" "${repo_root}/BENCH_kernel.json" "$@"
 record "${build_dir}/bench/macro_shard" "${repo_root}/BENCH_shard.json" "$@"
+record "${build_dir}/bench/macro_campaign" "${repo_root}/BENCH_parallel.json" "$@"
 
 "${build_dir}/examples/chaos_runner" trials=200 seed=1 \
   out="${repo_root}/BENCH_chaos.json"

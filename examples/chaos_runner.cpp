@@ -3,13 +3,15 @@
 // frequency), judges every trial with the invariant oracles, and writes a
 // JSON summary (BENCH_chaos.json when driven by bench/run_bench.sh).
 //
-// Every trial is reproducible from the campaign seed and its index alone:
+// Every trial is reproducible from the campaign seed and its index alone,
+// and the campaign output is byte-identical at any worker count:
 //
-//   examples/chaos_runner trials=200 seed=1 out=BENCH_chaos.json
+//   examples/chaos_runner trials=200 seed=1 workers=8 out=BENCH_chaos.json
 //
 // On failure the minimal reproducer (after delta-debugging) is printed so it
 // can be pasted into a regression test.
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "chaos/campaign.hpp"
@@ -28,37 +30,8 @@ void write_json(const std::string& path, const chaos::CampaignConfig& config,
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(config.seed));
-  std::fprintf(f, "  \"trials\": %d,\n", result.trials);
-  std::fprintf(f, "  \"passed\": %d,\n", result.passed);
-  std::fprintf(f, "  \"failed\": %d,\n", result.trials - result.passed);
-  std::fprintf(f, "  \"pass_rate\": %.4f,\n",
-               result.metrics.gauge("chaos.pass_rate").value_or(0.0));
-  if (const auto* rec = result.metrics.distribution("chaos.recovery_ms")) {
-    std::fprintf(f,
-                 "  \"recovery_ms\": {\"mean\": %.3f, \"stddev\": %.3f, "
-                 "\"min\": %.3f, \"max\": %.3f},\n",
-                 rec->mean(), rec->stddev(), rec->min(), rec->max());
-  }
-  if (const auto* ops = result.metrics.distribution("chaos.completed_ops")) {
-    std::fprintf(f, "  \"completed_ops\": {\"mean\": %.1f, \"total\": %.0f},\n",
-                 ops->mean(), ops->sum());
-  }
-  std::fprintf(f, "  \"per_style\": {");
-  bool first = true;
-  for (auto style : config.styles) {
-    const std::string code = replication::style_code(style);
-    std::fprintf(f, "%s\n    \"%s\": {\"pass\": %llu, \"fail\": %llu}",
-                 first ? "" : ",", code.c_str(),
-                 static_cast<unsigned long long>(
-                     result.metrics.counter("chaos.pass." + code)),
-                 static_cast<unsigned long long>(
-                     result.metrics.counter("chaos.fail." + code)));
-    first = false;
-  }
-  std::fprintf(f, "\n  }\n}\n");
+  const std::string json = chaos::to_json(config, result);
+  std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }
@@ -73,12 +46,14 @@ int main(int argc, char** argv) {
   config.trials = static_cast<int>(cfg.get_int("trials", 200));
   config.base.clients = static_cast<int>(cfg.get_int("clients", 2));
   config.base.ops_per_client = static_cast<int>(cfg.get_int("ops", 100));
+  config.workers = static_cast<int>(cfg.get_int("workers", 1));
   const bool shrink_failures = cfg.get_bool("shrink", true);
   const std::string out = cfg.get_str("out", "");
 
-  std::printf("chaos campaign: %d trials, seed %llu, 5 styles x replicas "
-              "{2,3} x checkpoint-every {10,25}\n\n",
-              config.trials, static_cast<unsigned long long>(config.seed));
+  std::printf("chaos campaign: %d trials, seed %llu, %d worker%s, 5 styles x "
+              "replicas {2,3} x checkpoint-every {10,25}\n\n",
+              config.trials, static_cast<unsigned long long>(config.seed),
+              config.workers, config.workers == 1 ? "" : "s");
 
   const auto result = chaos::run_campaign(
       config, [](int index, const chaos::TrialConfig& trial,
@@ -115,7 +90,14 @@ int main(int argc, char** argv) {
       }
     }
     if (shrink_failures) {
-      const auto shrunk = chaos::shrink_schedule(failure.config, failure.plan);
+      // Re-use the fleet width for the shrinker's candidate replays (each
+      // probe is an independent kernel, same as a campaign trial).
+      std::unique_ptr<sim::parallel::StealPool> shrink_pool;
+      if (config.workers > 1) {
+        shrink_pool = std::make_unique<sim::parallel::StealPool>(config.workers);
+      }
+      const auto shrunk = chaos::shrink_schedule(failure.config, failure.plan, {},
+                                                 shrink_pool.get());
       std::printf("minimal reproducer (%zu actions, %d probes):\n%s",
                   shrunk.minimal.size(), shrunk.probes,
                   shrunk.minimal.to_string().c_str());

@@ -48,12 +48,18 @@ echo "== macro-benchmark smoke runs =="
 # The whole-scenario events/sec benchmark and the sharded-fleet benchmark
 # must run on the default build (small configurations; the recorded
 # baselines are measured in Release below).
-cmake --build "${repo_root}/build" -j"${jobs}" --target macro_events --target macro_shard
+cmake --build "${repo_root}/build" -j"${jobs}" --target macro_events \
+  --target macro_shard --target macro_campaign
 "${repo_root}/build/bench/macro_events" \
   --benchmark_filter='BM_MacroKernelChurn' --benchmark_min_time=0.01 > /dev/null
+"${repo_root}/build/bench/macro_events" \
+  --benchmark_filter='BM_Windowed(Churn|ActiveFanout)/8' \
+  --benchmark_min_time=0.01 > /dev/null
 "${repo_root}/build/bench/macro_shard" \
   --benchmark_filter='BM_MacroShardFleet/8/1000' --benchmark_min_time=0.01 > /dev/null
-echo "macro_events and macro_shard run clean"
+"${repo_root}/build/bench/macro_campaign" \
+  --benchmark_filter='BM_CampaignTrials/8' --benchmark_min_time=0.01 > /dev/null
+echo "macro_events, macro_shard and macro_campaign run clean"
 
 echo "== benchmark regression gates (scripts/bench_gates.json) =="
 # Re-measures every gated binary in Release and compares each recorded
@@ -124,6 +130,15 @@ if [[ "${skip_sanitize}" -eq 0 ]]; then
   cmake -B "${repo_root}/build-asan" -S "${repo_root}" -DVDEP_SANITIZE=ON
   cmake --build "${repo_root}/build-asan" -j"${jobs}"
   ctest --test-dir "${repo_root}/build-asan" -L tier1 --output-on-failure -j"${jobs}"
+
+  echo "== tier-1 (TSan) =="
+  # The work-stealing pool, the trial fleet and the windowed engine are real
+  # multi-threaded code now; the whole tier-1 suite (which includes the
+  # parallel pool/engine tests and the serial-vs-parallel campaign
+  # determinism tests) must be data-race-free under ThreadSanitizer.
+  cmake -B "${repo_root}/build-tsan" -S "${repo_root}" -DVDEP_SANITIZE=thread
+  cmake --build "${repo_root}/build-tsan" -j"${jobs}"
+  ctest --test-dir "${repo_root}/build-tsan" -L tier1 --output-on-failure -j"${jobs}"
 fi
 
 if [[ "${skip_chaos}" -eq 0 ]]; then

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "chaos/oracles.hpp"
@@ -119,6 +120,12 @@ struct CampaignConfig {
   // classic single-group trial; > 1 = sharded trial with online splits.
   std::vector<int> shard_counts = {1};
   TrialConfig base;  // everything not swept
+
+  // Trial-fleet parallelism: > 1 runs trials on a work-stealing pool (one
+  // isolated Kernel per trial) and commits results in trial-index order, so
+  // the campaign output — metrics, failures, JSON, on_trial sequence — is
+  // byte-identical to the serial (workers == 1) run with the same seeds.
+  int workers = 1;
 };
 
 struct CampaignFailure {
@@ -145,9 +152,17 @@ struct CampaignResult {
 // trial can be reproduced from the campaign seed and its index alone).
 [[nodiscard]] TrialConfig campaign_trial_config(const CampaignConfig& config, int index);
 
-// Runs the sweep. `on_trial` (optional) observes each finished trial.
+// Runs the sweep. `on_trial` (optional) observes each finished trial, always
+// in trial-index order — with workers > 1 a trial's callback fires once every
+// lower-indexed trial has committed.
 [[nodiscard]] CampaignResult run_campaign(
     const CampaignConfig& config,
     const std::function<void(int, const TrialConfig&, const TrialResult&)>& on_trial = {});
+
+// The campaign summary as JSON (what examples/chaos_runner records to
+// BENCH_chaos.json; also the byte-identity witness for the serial-vs-parallel
+// determinism tests).
+[[nodiscard]] std::string to_json(const CampaignConfig& config,
+                                  const CampaignResult& result);
 
 }  // namespace vdep::chaos

@@ -22,7 +22,8 @@ SimTime snap_down(SimTime t, SimTime grid) {
 }  // namespace
 
 ShrinkResult shrink_schedule(const TrialConfig& config, const net::FaultPlan& failing,
-                             const FailPredicate& still_fails) {
+                             const FailPredicate& still_fails,
+                             sim::parallel::StealPool* pool) {
   const FailPredicate fails_pred =
       still_fails ? still_fails
                   : [](const TrialResult& r) { return !r.pass(); };
@@ -50,23 +51,59 @@ ShrinkResult shrink_schedule(const TrialConfig& config, const net::FaultPlan& fa
 
   // Phase 1 — ddmin on the action list: repeatedly try dropping one of n
   // chunks; on success restart at coarse granularity, otherwise refine.
+  //
+  // Serial rounds scan candidates in start order and commit the first
+  // failure; parallel rounds (with a pool) evaluate every candidate of the
+  // round as an independent trial and commit the lowest-indexed failure —
+  // the same commit, reached by racing the whole round at once.
   std::vector<net::FaultAction> actions = out.minimal.actions();
   std::size_t n = 2;
   while (actions.size() >= 2) {
     bool reduced = false;
     const std::size_t chunk = std::max<std::size_t>(1, actions.size() / n);
+
+    std::vector<std::vector<net::FaultAction>> complements;
     for (std::size_t start = 0; start < actions.size(); start += chunk) {
       std::vector<net::FaultAction> complement;
       for (std::size_t i = 0; i < actions.size(); ++i) {
         if (i < start || i >= start + chunk) complement.push_back(actions[i]);
       }
-      if (complement.size() < actions.size() && probe(plan_from(complement))) {
-        actions = std::move(complement);
-        n = std::max<std::size_t>(2, n - 1);
-        reduced = true;
-        break;
+      if (complement.size() < actions.size()) complements.push_back(std::move(complement));
+    }
+
+    if (pool != nullptr && complements.size() > 1) {
+      std::vector<net::FaultPlan> plans(complements.size());
+      std::vector<TrialResult> results(complements.size());
+      sim::parallel::TaskGroup round;
+      for (std::size_t k = 0; k < complements.size(); ++k) {
+        plans[k] = plan_from(complements[k]);
+        pool->submit(round, [&config, &plans, &results, k] {
+          results[k] = run_trial(config, plans[k]);
+        });
+      }
+      round.wait(*pool);
+      out.probes += static_cast<int>(complements.size());
+      for (std::size_t k = 0; k < complements.size(); ++k) {
+        if (fails_pred(results[k])) {
+          out.minimal = std::move(plans[k]);
+          out.reproduction = std::move(results[k]);
+          actions = std::move(complements[k]);
+          n = std::max<std::size_t>(2, n - 1);
+          reduced = true;
+          break;
+        }
+      }
+    } else {
+      for (auto& complement : complements) {
+        if (probe(plan_from(complement))) {
+          actions = std::move(complement);
+          n = std::max<std::size_t>(2, n - 1);
+          reduced = true;
+          break;
+        }
       }
     }
+
     if (!reduced) {
       if (n >= actions.size()) break;
       n = std::min(actions.size(), n * 2);

@@ -7,11 +7,19 @@
 // pulling them earlier). Every probe is a full deterministic trial, so the
 // result is an honest minimal reproducer, printable via FaultPlan::to_string
 // and replayable with run_trial(config, minimal).
+//
+// With a StealPool, each ddmin round evaluates all of its candidate plans as
+// parallel trials (each probe is an independent kernel) and commits the
+// lowest-indexed failing candidate — the same candidate the serial scan
+// would have taken, so the minimal schedule is identical; only the probe
+// count differs (the parallel round finishes candidates the serial scan
+// would have skipped past). The sequential retiming phase stays serial.
 #pragma once
 
 #include <functional>
 
 #include "chaos/campaign.hpp"
+#include "sim/parallel/steal_pool.hpp"
 
 namespace vdep::chaos {
 
@@ -27,6 +35,7 @@ struct ShrinkResult {
 
 [[nodiscard]] ShrinkResult shrink_schedule(const TrialConfig& config,
                                            const net::FaultPlan& failing,
-                                           const FailPredicate& still_fails = {});
+                                           const FailPredicate& still_fails = {},
+                                           sim::parallel::StealPool* pool = nullptr);
 
 }  // namespace vdep::chaos

@@ -37,7 +37,9 @@ ServiceType decode_svc(ByteReader& r) {
   return static_cast<ServiceType>(v);
 }
 
-std::uint64_t g_encode_inner_count = 0;
+// Per-thread: trials on the parallel campaign fleet each count their own
+// encodes without racing (the encode-count test reads it on its own thread).
+thread_local std::uint64_t g_encode_inner_count = 0;
 
 }  // namespace
 

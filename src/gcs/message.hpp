@@ -137,8 +137,9 @@ using InnerMsg = std::variant<Forward, Ordered, OrdAck, StableMsg, Takeover, Syn
 // Copying overload for callers holding a plain buffer (tests, fuzz inputs).
 [[nodiscard]] InnerMsg decode_inner(std::span<const std::uint8_t> raw);
 
-// Number of encode_inner() calls since process start; lets tests assert the
-// encode-once fan-out invariant (N destinations, one encode).
+// Number of encode_inner() calls by the *calling thread* since it started;
+// lets tests assert the encode-once fan-out invariant (N destinations, one
+// encode). Thread-local so parallel campaign trials do not race it.
 [[nodiscard]] std::uint64_t encode_inner_count();
 
 // Application payload bytes carried by an inner message (for wire-size

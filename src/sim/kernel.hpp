@@ -4,6 +4,13 @@
 // Everything in the repository — network, group communication, ORB,
 // replicator, workloads — runs as callbacks scheduled on one Kernel, so a
 // whole distributed experiment is a single deterministic computation.
+//
+// A Kernel and its entire object graph (tracer, interner, pools, every
+// component scheduled on it) are confined to one thread at a time. Parallel
+// execution never shares a kernel: the chaos trial fleet runs one isolated
+// Kernel per trial on pool workers, and the windowed engine
+// (sim/parallel/windowed.hpp) partitions a simulation into per-host queues
+// with its own cross-thread handoff rules.
 #pragma once
 
 #include <cstdint>

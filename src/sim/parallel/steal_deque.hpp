@@ -1,0 +1,116 @@
+// Chase-Lev work-stealing deque: the classic single-owner double-ended queue
+// where the owner pushes and pops at the bottom (LIFO, cache-warm) and any
+// number of thieves steal from the top (FIFO, oldest first).
+//
+// The implementation follows Chase & Lev (SPAA '05) as corrected for weak
+// memory models by Lê et al. (PPoPP '13), with one deliberate deviation: the
+// orderings that the paper expresses through standalone fences are expressed
+// here as seq_cst operations on `top_`/`bottom_` directly. That is strictly
+// stronger (identical codegen on x86, one extra barrier on ARM) and — the
+// actual reason — ThreadSanitizer models atomic operations precisely but
+// standalone fences only approximately, and the TSan preset
+// (`VDEP_SANITIZE=thread`) is a hard CI gate for everything under
+// `sim/parallel`.
+//
+// The ring has a fixed power-of-two capacity instead of the paper's growable
+// array: callers (StealPool) fall back to a shared injector queue when an
+// owner deque is full, so the bound costs only a detour, never a deadlock.
+// Steals are lock-free (a failed CAS means another thief or the owner won —
+// system-wide progress is guaranteed); the owner never blocks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vdep::sim::parallel {
+
+template <typename T>
+class StealDeque {
+ public:
+  explicit StealDeque(std::size_t capacity = 1 << 13)
+      : ring_(round_up_pow2(capacity)), mask_(ring_.size() - 1) {}
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  // Owner only. False when the ring is full (caller reroutes the item).
+  bool push_bottom(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(ring_.size())) return false;
+    slot(b).store(item, std::memory_order_relaxed);
+    // Publishes the slot write to thieves that acquire `bottom_`.
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Owner only. The newest item, or nullptr when empty (or a thief won the
+  // race for the last one).
+  T* pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // seq_cst store-then-load: the reservation of slot b must be globally
+    // ordered before reading `top_`, or owner and thief could both take the
+    // last item (the store->load reordering the paper's fence forbids).
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last item: race thieves for it through the same CAS they use.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  // Any thread. The oldest item, or nullptr when empty or the CAS lost to a
+  // concurrent steal/pop (callers just move to the next victim).
+  T* steal_top() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    T* item = slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  // Approximate (racy) size; used only for idle heuristics.
+  [[nodiscard]] std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::atomic<T*>& slot(std::int64_t index) {
+    return ring_[static_cast<std::size_t>(index) & mask_];
+  }
+
+  // top_ only ever grows (thieves consume); bottom_ moves both ways (owner).
+  // Both on their own cache lines so steals don't bounce the owner's line.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::vector<std::atomic<T*>> ring_;
+  std::size_t mask_;
+};
+
+}  // namespace vdep::sim::parallel

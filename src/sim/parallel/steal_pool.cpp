@@ -1,0 +1,162 @@
+#include "sim/parallel/steal_pool.hpp"
+
+#include <chrono>
+
+namespace vdep::sim::parallel {
+
+namespace {
+
+// Identifies the calling thread as worker `index` of `pool` (set for the
+// lifetime of the worker loop). submit() and try_run_one() use it to route
+// work to the caller's own deque.
+struct WorkerTls {
+  StealPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerTls t_worker;
+
+}  // namespace
+
+void TaskGroup::wait(StealPool& pool) {
+  int idle = 0;
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (pool.try_run_one()) {
+      idle = 0;
+      continue;
+    }
+    // Nothing runnable from here: the remaining tasks are mid-execution on
+    // workers. Yield for a while, then nap — the group has no cv on purpose
+    // (see the header: the final fetch_sub must be the last group access).
+    if (++idle < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+StealPool::StealPool(int workers) {
+  const int n = workers < 1 ? 1 : workers;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  for (int i = 0; i < n; ++i) {
+    workers_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+StealPool::~StealPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w->thread.join();
+  // Unexecuted tasks (a caller tearing down mid-fan-out) are dropped, not
+  // run: destruction is not a completion point.
+  for (auto& w : workers_) {
+    while (Node* node = w->deque.pop_bottom()) delete node;
+  }
+  for (Node* node : injector_) delete node;
+}
+
+void StealPool::submit_node(Node* node) {
+  const WorkerTls& tls = t_worker;
+  bool queued = false;
+  if (tls.pool == this) {
+    queued = workers_[tls.index]->deque.push_bottom(node);
+  }
+  if (!queued) {
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    injector_.push_back(node);
+  }
+  wake_one();
+}
+
+void StealPool::wake_one() {
+  // Epoch first: a worker that re-checked the queues before this push and
+  // is about to sleep will see the epoch moved and not block.
+  epoch_.fetch_add(1, std::memory_order_release);
+  if (sleepers_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    work_available_.notify_all();
+  }
+}
+
+StealPool::Node* StealPool::take_shared(std::size_t start_victim) {
+  {
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    if (!injector_.empty()) {
+      Node* node = injector_.front();
+      injector_.pop_front();
+      return node;
+    }
+  }
+  const std::size_t n = workers_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t victim = (start_victim + probe) % n;
+    if (Node* node = workers_[victim]->deque.steal_top()) return node;
+  }
+  return nullptr;
+}
+
+void StealPool::run_node(Node* node) {
+  node->fn();
+  TaskGroup* group = node->group;
+  delete node;
+  // The decrement is the last access to *group: once it hits zero a waiter
+  // may return and destroy the group immediately.
+  if (group != nullptr) group->pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool StealPool::try_run_one() {
+  const WorkerTls& tls = t_worker;
+  Node* node = nullptr;
+  if (tls.pool == this) {
+    node = workers_[tls.index]->deque.pop_bottom();
+    if (node == nullptr) node = take_shared(tls.index + 1);
+  } else {
+    node = take_shared(0);
+  }
+  if (node == nullptr) return false;
+  run_node(node);
+  return true;
+}
+
+void StealPool::worker_loop(std::size_t self) {
+  t_worker = WorkerTls{this, self};
+  Worker& me = *workers_[self];
+  while (true) {
+    Node* node = me.deque.pop_bottom();
+    if (node == nullptr) node = take_shared(self + 1);
+    if (node != nullptr) {
+      run_node(node);
+      continue;
+    }
+    // Idle backoff: a brief spin of re-probes (steal CASes fail spuriously
+    // under contention), then sleep until a submit moves the epoch.
+    bool found = false;
+    for (int spin = 0; spin < 32 && !found; ++spin) {
+      found = (node = take_shared(self + 1)) != nullptr;
+    }
+    if (found) {
+      run_node(node);
+      continue;
+    }
+    const std::uint64_t seen = epoch_.load(std::memory_order_acquire);
+    if ((node = take_shared(self + 1)) != nullptr) {  // final re-check
+      run_node(node);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_release);
+    work_available_.wait(lock, [this, seen] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             epoch_.load(std::memory_order_relaxed) != seen;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+}  // namespace vdep::sim::parallel

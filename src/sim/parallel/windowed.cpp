@@ -1,0 +1,129 @@
+#include "sim/parallel/windowed.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace vdep::sim::parallel {
+
+namespace {
+
+constexpr SimTime kNever = SimTime::max();
+
+}  // namespace
+
+WindowedEngine::WindowedEngine(const Config& config)
+    : lookahead_(config.lookahead), seed_(config.seed), pool_(config.workers) {
+  VDEP_ASSERT_MSG(lookahead_ > kTimeZero, "lookahead must be positive");
+}
+
+int WindowedEngine::add_host(std::string name) {
+  VDEP_ASSERT_MSG(!running_, "topology is fixed once run_until starts");
+  hosts_.push_back(std::make_unique<Host>());
+  hosts_.back()->name = std::move(name);
+  return static_cast<int>(hosts_.size()) - 1;
+}
+
+void WindowedEngine::post(int host, SimTime delay, EventFn fn) {
+  VDEP_ASSERT_MSG(delay >= kTimeZero, "cannot schedule in the past");
+  Host& h = *hosts_[static_cast<std::size_t>(host)];
+  h.queue.schedule(h.now + delay, std::move(fn));
+}
+
+void WindowedEngine::post_at(int host, SimTime at, EventFn fn) {
+  Host& h = *hosts_[static_cast<std::size_t>(host)];
+  VDEP_ASSERT_MSG(at >= h.now, "cannot schedule in the past");
+  h.queue.schedule(at, std::move(fn));
+}
+
+void WindowedEngine::send(int from, int to, SimTime delay, EventFn fn) {
+  VDEP_ASSERT_MSG(delay >= lookahead_,
+                  "cross-host delay below the lookahead breaks window isolation");
+  Host& src = *hosts_[static_cast<std::size_t>(from)];
+  if (!running_) {
+    // Setup time: both clocks are at zero, deliver directly.
+    hosts_[static_cast<std::size_t>(to)]->queue.schedule(src.now + delay, std::move(fn));
+    return;
+  }
+  src.outbox.push_back(PendingSend{to, src.now + delay, std::move(fn)});
+}
+
+void WindowedEngine::run_host_window(Host& host, SimTime window_end) {
+  while (!host.queue.empty() && host.queue.next_time() < window_end) {
+    auto [at, fn] = host.queue.pop();
+    VDEP_ASSERT(at >= host.now);
+    host.now = at;
+    fn();
+    ++host.executed;
+  }
+}
+
+SimTime WindowedEngine::earliest_event() const {
+  SimTime earliest = kNever;
+  for (const auto& h : hosts_) {
+    if (!h->queue.empty()) earliest = std::min(earliest, h->queue.next_time());
+  }
+  return earliest;
+}
+
+void WindowedEngine::run_until(SimTime deadline) {
+  running_ = true;
+  const std::int64_t width = lookahead_.count();
+  TaskGroup window_done;
+  std::vector<Host*> active;
+  active.reserve(hosts_.size());
+
+  for (;;) {
+    const SimTime earliest = earliest_event();
+    if (earliest == kNever || earliest > deadline) break;
+
+    // Window grid is anchored at time zero with lookahead-wide cells, so
+    // the window sequence depends only on event times — never on worker
+    // count or scheduling. run_until's contract is `<= deadline`, hence the
+    // half-open window end is clamped to deadline + 1ns.
+    const SimTime window_start = SimTime{(earliest.count() / width) * width};
+    const SimTime window_end =
+        std::min(window_start + lookahead_, deadline + SimTime{1});
+
+    active.clear();
+    for (auto& h : hosts_) {
+      if (!h->queue.empty() && h->queue.next_time() < window_end) active.push_back(h.get());
+    }
+
+    if (active.size() == 1) {
+      // One busy host: run it inline, skip the barrier round-trip.
+      run_host_window(*active.front(), window_end);
+    } else {
+      for (Host* h : active) {
+        pool_.submit(window_done, [this, h, window_end] {
+          run_host_window(*h, window_end);
+        });
+      }
+      window_done.wait(pool_);
+    }
+
+    // Barrier: merge buffered cross-host sends in (sender, emission) order.
+    // Every delivery time is >= window_start + lookahead >= window_end, so
+    // the merge never schedules into a host's executed past.
+    for (auto& h : hosts_) {
+      for (PendingSend& send : h->outbox) {
+        hosts_[static_cast<std::size_t>(send.to)]->queue.schedule(send.at,
+                                                                  std::move(send.fn));
+      }
+      h->outbox.clear();
+    }
+    ++windows_run_;
+  }
+
+  // Mirror Kernel::run_until: clocks land on the deadline.
+  for (auto& h : hosts_) h->now = std::max(h->now, deadline);
+  running_ = false;
+}
+
+std::uint64_t WindowedEngine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& h : hosts_) total += h->executed;
+  return total;
+}
+
+}  // namespace vdep::sim::parallel

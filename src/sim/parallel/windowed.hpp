@@ -1,0 +1,130 @@
+// Conservative lookahead-windowed parallel discrete-event engine.
+//
+// The serial sim::Kernel runs one global event queue; this engine partitions
+// the simulation into logical processes ("hosts"), each with its own event
+// queue, clock and random stream, and executes them on a StealPool in
+// *windows* derived from the network's minimum propagation delay (the
+// classic conservative-DES lookahead argument):
+//
+//   - A host may schedule work for itself at any delay >= 0 (post).
+//   - Cross-host interaction goes through send(), whose delay must be at
+//     least the configured lookahead.
+//
+// Because a message sent at time t inside window [W, W+L) arrives at
+// t + delay >= W + L, no host can receive an event *for the current window*
+// from another host mid-window. That makes every host's window execution
+// independent: the engine runs all hosts with pending events through
+// [W, W+L) as pool tasks, barriers at the window edge, then merges the
+// buffered cross-host sends into the target queues — in (sender index,
+// emission order) order, so FIFO tie-breaking in the target queues is
+// identical no matter how many workers ran the window.
+//
+// Determinism contract (pinned by tests/parallel_test.cpp): for a given
+// seed and model, the per-host event sequences — and any log sorted by
+// (time, host, per-host sequence) — are byte-identical across worker
+// counts, including workers == 1. Within one simulated nanosecond, events
+// on *different* hosts have no defined relative order (they are causally
+// concurrent by construction); per-host order is FIFO, as in the serial
+// kernel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/parallel/steal_pool.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace vdep::sim::parallel {
+
+class WindowedEngine {
+ public:
+  struct Config {
+    int workers = 1;
+    // Window width == minimum cross-host propagation delay. send() asserts
+    // its delay against this.
+    SimTime lookahead = usec(10);
+    std::uint64_t seed = 1;
+  };
+
+  explicit WindowedEngine(const Config& config);
+
+  WindowedEngine(const WindowedEngine&) = delete;
+  WindowedEngine& operator=(const WindowedEngine&) = delete;
+
+  // Topology is fixed before run_until: hosts are added up front.
+  int add_host(std::string name);
+  [[nodiscard]] int hosts() const { return static_cast<int>(hosts_.size()); }
+
+  // Host-local scheduling, relative to the host's clock. Call either during
+  // setup or from within one of `host`'s own events (never from another
+  // host's event — that is what send() is for).
+  void post(int host, SimTime delay, EventFn fn);
+  // Absolute-time variant for setup code.
+  void post_at(int host, SimTime at, EventFn fn);
+
+  // Cross-host event: runs on `to` at from-now + delay. delay >= lookahead
+  // (asserted — the windowing proof depends on it). Must be called from
+  // within one of `from`'s events (or setup, where it is equivalent to
+  // post_at on the target).
+  void send(int from, int to, SimTime delay, EventFn fn);
+
+  // The calling host's clock (valid inside that host's events).
+  [[nodiscard]] SimTime now(int host) const {
+    return hosts_[static_cast<std::size_t>(host)]->now;
+  }
+
+  // Independent per-host random stream, forked from the engine seed and the
+  // host index — stable under changes to other hosts.
+  [[nodiscard]] Rng fork_rng(int host, std::uint64_t stream_index) {
+    return Rng(seed_).fork(static_cast<std::uint64_t>(host) * 0x10001ULL + 1)
+        .fork(stream_index);
+  }
+
+  // Runs events with timestamp <= deadline, window by window. Empty windows
+  // are skipped (the cursor jumps to the window containing the earliest
+  // pending event), so a sparse simulation pays per event, not per window.
+  void run_until(SimTime deadline);
+
+  [[nodiscard]] std::uint64_t events_executed() const;
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_run_; }
+  [[nodiscard]] int workers() const { return pool_.workers(); }
+
+ private:
+  struct PendingSend {
+    int to = 0;
+    SimTime at = kTimeZero;
+    EventFn fn;
+  };
+
+  struct Host {
+    std::string name;
+    EventQueue queue;
+    SimTime now = kTimeZero;
+    std::uint64_t executed = 0;
+    // Cross-host sends emitted during the current window; drained at the
+    // barrier by the driver. Only this host's window task touches it
+    // mid-window, so it needs no lock.
+    std::vector<PendingSend> outbox;
+  };
+
+  // Runs every event of `host` with timestamp < window_end (serially, FIFO).
+  void run_host_window(Host& host, SimTime window_end);
+
+  // Earliest pending event across all hosts, or kTimeInfinity when idle.
+  [[nodiscard]] SimTime earliest_event() const;
+
+  SimTime lookahead_;
+  std::uint64_t seed_;
+  // unique_ptr: EventQueue is pinned (non-movable), and separate allocations
+  // keep concurrently-executing hosts off each other's cache lines.
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::uint64_t windows_run_ = 0;
+  bool running_ = false;
+  StealPool pool_;
+};
+
+}  // namespace vdep::sim::parallel

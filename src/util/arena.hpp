@@ -4,8 +4,11 @@
 // Both follow the slot-pool idiom used across the codebase (see
 // sim::detail::EventSlotPool): ownership stays in one arena, hot paths hand
 // out references or recycled slots, and the steady state performs no
-// allocation. Neither is thread-safe — the simulation is single-threaded by
-// design.
+// allocation. Neither is thread-safe, and neither needs to be: every
+// instance is owned by a single kernel's object graph (the tracer's
+// interner, a link's frame pool), and a kernel is confined to one thread —
+// the parallel campaign fleet gives each trial its own kernel rather than
+// sharing these across threads.
 #pragma once
 
 #include <cstddef>

@@ -1,14 +1,21 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace vdep {
 
 namespace {
 
-LogLevel g_level = LogLevel::kOff;
-bool g_env_checked = false;
+// The logger is process-global state shared by every trial in a parallel
+// campaign, so the level must be readable without a data race from any
+// worker thread. The hot path (log() below a disabled level) is two relaxed
+// atomic loads; the env parse is serialized by a mutex and runs once.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::atomic<bool> g_env_checked{false};
+std::mutex g_init_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,37 +32,42 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 void Logger::set_level(LogLevel level) {
-  g_level = level;
-  g_env_checked = true;
+  g_level.store(level, std::memory_order_relaxed);
+  g_env_checked.store(true, std::memory_order_release);
 }
 
 LogLevel Logger::level() {
   init_from_env();
-  return g_level;
+  return g_level.load(std::memory_order_relaxed);
 }
 
 void Logger::init_from_env() {
-  if (g_env_checked) return;
-  g_env_checked = true;
-  const char* env = std::getenv("VDEP_LOG");
-  if (env == nullptr) return;
-  if (std::strcmp(env, "trace") == 0) g_level = LogLevel::kTrace;
-  else if (std::strcmp(env, "debug") == 0) g_level = LogLevel::kDebug;
-  else if (std::strcmp(env, "info") == 0) g_level = LogLevel::kInfo;
-  else if (std::strcmp(env, "warn") == 0) g_level = LogLevel::kWarn;
-  else if (std::strcmp(env, "error") == 0) g_level = LogLevel::kError;
-  else g_level = LogLevel::kOff;
+  if (g_env_checked.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  if (g_env_checked.load(std::memory_order_relaxed)) return;
+  LogLevel level = LogLevel::kOff;
+  if (const char* env = std::getenv("VDEP_LOG")) {
+    if (std::strcmp(env, "trace") == 0) level = LogLevel::kTrace;
+    else if (std::strcmp(env, "debug") == 0) level = LogLevel::kDebug;
+    else if (std::strcmp(env, "info") == 0) level = LogLevel::kInfo;
+    else if (std::strcmp(env, "warn") == 0) level = LogLevel::kWarn;
+    else if (std::strcmp(env, "error") == 0) level = LogLevel::kError;
+  }
+  g_level.store(level, std::memory_order_relaxed);
+  g_env_checked.store(true, std::memory_order_release);
 }
 
 void Logger::reset_for_testing() {
-  g_level = LogLevel::kOff;
-  g_env_checked = false;
+  g_level.store(LogLevel::kOff, std::memory_order_relaxed);
+  g_env_checked.store(false, std::memory_order_release);
 }
 
 void Logger::log(LogLevel level, SimTime sim_now, const std::string& component,
                  const std::string& message) {
   init_from_env();
-  if (level < g_level || g_level == LogLevel::kOff) return;
+  const LogLevel current = g_level.load(std::memory_order_relaxed);
+  if (level < current || current == LogLevel::kOff) return;
+  // fprintf locks the FILE, so concurrent lines never interleave mid-line.
   std::fprintf(stderr, "[%12.3f us] %s %-12s %s\n", to_usec(sim_now), level_name(level),
                component.c_str(), message.c_str());
 }

@@ -24,7 +24,9 @@ class Logger {
   static void init_from_env();
 
   // Clears the cached level and env-checked flag so init_from_env re-reads
-  // VDEP_LOG. For tests only.
+  // VDEP_LOG. For tests only — callers must not race it against concurrent
+  // logging (the stores are atomic, but a logger mid-line keeps the level it
+  // already read).
   static void reset_for_testing();
 
   static void log(LogLevel level, SimTime sim_now, const std::string& component,

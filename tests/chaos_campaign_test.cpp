@@ -13,6 +13,9 @@ TEST(ChaosCampaign, TwoHundredTrialsAllStylesAllOraclesHold) {
   CampaignConfig config;
   config.seed = 1;
   config.trials = 200;
+  // Fleet execution (workers is a pure throughput knob — byte-identical
+  // results; pinned by parallel_campaign_chaos_test on this exact config).
+  config.workers = 8;
 
   const CampaignResult result = run_campaign(config);
 

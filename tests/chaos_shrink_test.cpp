@@ -76,5 +76,27 @@ TEST(ChaosShrink, MinimizesInjectedBugToAtMostThreeActions) {
   EXPECT_TRUE(run_trial(fixed, shrunk.minimal).pass());
 }
 
+TEST(ChaosShrink, ParallelRoundsFindTheSameMinimalSchedule) {
+  // A ddmin round on the pool evaluates every candidate as a parallel trial
+  // and commits the lowest-indexed failure — the same candidate the serial
+  // scan commits, so the minimal schedule must be identical byte for byte
+  // (only the probe count may differ: parallel rounds finish candidates the
+  // serial scan would have skipped past).
+  const TrialConfig config = bug_trial();
+  const net::FaultPlan failing = noisy_failing_plan(config);
+  const auto dedup_violated = [](const TrialResult& r) {
+    return !check_exactly_once(r.observation).pass();
+  };
+
+  const ShrinkResult serial = shrink_schedule(config, failing, dedup_violated);
+  sim::parallel::StealPool pool(8);
+  const ShrinkResult fleet =
+      shrink_schedule(config, failing, dedup_violated, &pool);
+
+  EXPECT_EQ(fleet.minimal.to_string(), serial.minimal.to_string());
+  EXPECT_GE(fleet.probes, serial.probes);
+  EXPECT_FALSE(fleet.reproduction.pass());
+}
+
 }  // namespace
 }  // namespace vdep::chaos

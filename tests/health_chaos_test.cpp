@@ -17,6 +17,10 @@ TEST(HealthChaosCampaign, TwoHundredTrialsEveryFaultDetectedInBound) {
   config.seed = 5;
   config.trials = 200;
   config.base.health = true;
+  // Run on the trial fleet: the campaign contract makes workers a pure
+  // throughput knob (byte-identical results), and this keeps the health
+  // campaign exercising the parallel path at acceptance width.
+  config.workers = 8;
 
   const CampaignResult result = run_campaign(config);
 

@@ -1,0 +1,35 @@
+// Acceptance-width fleet determinism: the full 200-trial campaign, serial vs
+// 8 workers, byte-identical summary JSON. Labeled `chaos` (excluded from the
+// tier1 quick gate; run by scripts/ci.sh and the full suite).
+//
+// Note there is deliberately no wall-clock speedup assertion here: CI
+// machines may expose a single core, where 8 workers cannot be faster. The
+// throughput story is recorded by bench/macro_campaign (trials/sec at 1, 4
+// and 8 workers) and gated by scripts/check_bench_regression.py instead.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/campaign.hpp"
+
+namespace vdep::chaos {
+namespace {
+
+TEST(ParallelCampaignWide, TwoHundredTrialsByteIdenticalSerialVsEightWorkers) {
+  CampaignConfig config;
+  config.seed = 1;
+  config.trials = 200;
+
+  config.workers = 1;
+  const CampaignResult serial = run_campaign(config);
+  EXPECT_EQ(serial.passed, 200);
+  const std::string serial_json = to_json(config, serial);
+
+  config.workers = 8;
+  const CampaignResult fleet = run_campaign(config);
+  EXPECT_EQ(fleet.passed, 200);
+  EXPECT_EQ(to_json(config, fleet), serial_json);
+}
+
+}  // namespace
+}  // namespace vdep::chaos

@@ -15,6 +15,7 @@ CampaignConfig shard_campaign(int trials) {
   CampaignConfig config;
   config.seed = 0x5AD;
   config.trials = trials;
+  config.workers = 8;  // fleet execution; pure throughput knob
   config.shard_counts = {32};
   // Sharded trials build one replica group per shard; keep the per-group
   // footprint small so 32 groups fit one deterministic kernel comfortably.

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+
 #include "util/rng.hpp"
 
 namespace vdep {
@@ -112,6 +115,33 @@ TEST(Rng, ForkedStreamsIndependent) {
     if (a.next() == b.next()) ++same;
   }
   EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  // The trial fleet forks one stream per trial from the campaign seed; the
+  // parent must be untouched by forking or trial N's stream would depend on
+  // how many forks happened before it.
+  Rng forked(42);
+  for (std::uint64_t i = 0; i < 100; ++i) (void)forked.fork(i);
+  Rng untouched(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(forked.next(), untouched.next());
+}
+
+TEST(Rng, ForkIndicesYieldDistinctStreams) {
+  // First outputs of forks 0..999 are pairwise distinct (any collision would
+  // alias two trials of a campaign onto the same schedule).
+  Rng parent(1);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 1000; ++i) firsts.insert(parent.fork(i).next());
+  EXPECT_EQ(firsts.size(), 1000u);
+}
+
+TEST(Rng, ForkOfForkIsReproducible) {
+  // The windowed engine derives per-host streams as seed.fork(f(host)).fork(k);
+  // two-level forking must reproduce exactly.
+  Rng a = Rng(7).fork(3).fork(9);
+  Rng b = Rng(7).fork(3).fork(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
 }
 
 }  // namespace
